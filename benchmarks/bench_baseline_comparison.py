@@ -1,0 +1,119 @@
+"""Experiment E8 — comparison against the baseline techniques of Sec. II.
+
+The paper positions its method against verification-test-based detection
+(random simulation, UCI), structural heuristics (FANCI) and bounded formal
+methods (BMC against a golden model): none of them is exhaustive for
+sequential Trojans with long or improbable trigger sequences, and the formal
+baselines additionally require a golden model.  These benchmarks make that
+comparison concrete:
+
+* the golden-free flow detects every selected Trojan,
+* random simulation misses all of them (their triggers never fire),
+* golden-model BMC finds a Trojan only when its trigger fits in the bound,
+* UCI/FANCI flag suspicious logic but need test stimuli / thresholds and give
+  no guarantee.
+
+Run with:  pytest benchmarks/bench_baseline_comparison.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_detection
+from repro.baselines import (
+    BoundedTrojanChecker,
+    FanciAnalysis,
+    RandomSimulationTester,
+    UnusedCircuitIdentification,
+)
+from repro.baselines.random_sim import aes_pipeline_golden
+from repro.rtl import elaborate_source
+from repro.trusthub import load_module
+from repro.trusthub.aes_core import AES_LATENCY
+
+# Small accelerator pair used for the BMC bound sweep (the full AES pair
+# would only add constant factors without changing the picture).
+_GOLDEN = """
+module acc(input clk, input [7:0] din, output [7:0] dout);
+  reg [7:0] s1; reg [7:0] s2;
+  always @(posedge clk) begin s1 <= din + 8'h11; s2 <= s1 ^ 8'h22; end
+  assign dout = s2;
+endmodule
+"""
+
+_SHORT_TRIGGER = _GOLDEN.replace(
+    "always @(posedge clk) begin s1 <= din + 8'h11; s2 <= s1 ^ 8'h22; end\n  assign dout = s2;",
+    "reg [2:0] count;\n  always @(posedge clk) begin s1 <= din + 8'h11; s2 <= s1 ^ 8'h22;"
+    " count <= count + 3'h1; end\n  assign dout = (count == 3'h7) ? ~s2 : s2;",
+)
+
+_LONG_TRIGGER = _GOLDEN.replace(
+    "always @(posedge clk) begin s1 <= din + 8'h11; s2 <= s1 ^ 8'h22; end\n  assign dout = s2;",
+    "reg [23:0] count;\n  always @(posedge clk) begin s1 <= din + 8'h11; s2 <= s1 ^ 8'h22;"
+    " count <= count + 24'h1; end\n  assign dout = (count == 24'hffffff) ? ~s2 : s2;",
+)
+
+
+@pytest.mark.benchmark(group="baselines")
+@pytest.mark.parametrize("name", ["AES-T1400", "AES-T2500", "AES-T2700"])
+def test_formal_flow_detects_all_selected_trojans(benchmark, name):
+    report = benchmark.pedantic(lambda: run_detection(name)[1], rounds=1, iterations=1)
+    assert report.trojan_detected
+    print(f"\n{name}: formal flow -> detected by {report.detected_by}")
+
+
+@pytest.mark.benchmark(group="baselines")
+@pytest.mark.parametrize("name", ["AES-T1400", "AES-T2700"])
+def test_random_simulation_misses_stealthy_trojans(benchmark, name):
+    module = load_module(name)
+    tester = RandomSimulationTester(module, aes_pipeline_golden(AES_LATENCY), seed=11)
+
+    result = benchmark.pedantic(lambda: tester.run(cycles=AES_LATENCY + 60), rounds=1, iterations=1)
+    assert not result.trojan_detected
+    print(f"\n{name}: random simulation -> {result.summary()} (Trojan missed)")
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_bmc_finds_short_trigger_within_bound(benchmark):
+    design = elaborate_source(_SHORT_TRIGGER, "acc")
+    golden = elaborate_source(_GOLDEN, "acc")
+    checker = BoundedTrojanChecker(design, golden)
+    result = benchmark.pedantic(lambda: checker.check(bound=10), rounds=1, iterations=1)
+    assert result.trojan_detected
+    print(f"\nshort-trigger accelerator: BMC(bound=10) -> {result.summary()}")
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_bmc_misses_long_trigger_within_bound(benchmark):
+    design = elaborate_source(_LONG_TRIGGER, "acc")
+    golden = elaborate_source(_GOLDEN, "acc")
+    checker = BoundedTrojanChecker(design, golden)
+    result = benchmark.pedantic(lambda: checker.check(bound=10), rounds=1, iterations=1)
+    assert not result.trojan_detected
+    print(f"\nlong-trigger accelerator: BMC(bound=10) -> {result.summary()} (Trojan missed; "
+          "the golden-free flow detects the same design exhaustively)")
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_uci_flags_dormant_trigger_logic(benchmark):
+    design = elaborate_source(_LONG_TRIGGER, "acc")
+    analysis = UnusedCircuitIdentification(design)
+    stimuli = [{"din": (37 * i + 3) & 0xFF} for i in range(60)]
+    result = benchmark.pedantic(lambda: analysis.analyze(stimuli), rounds=1, iterations=1)
+    assert "count" in result.candidates
+    print(f"\nlong-trigger accelerator: {result.summary()}")
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_fanci_flags_wide_comparator(benchmark):
+    design = elaborate_source(
+        "module m(input clk, input [31:0] d, output q); reg armed;"
+        " always @(posedge clk) if (d == 32'hcafebabe) armed <= 1'b1;"
+        " assign q = armed; endmodule",
+        "m",
+    )
+    analysis = FanciAnalysis(design, seed=3)
+    result = benchmark.pedantic(lambda: analysis.analyze(samples=256, threshold=0.05), rounds=1, iterations=1)
+    assert "armed" in result.flagged_signals()
+    print(f"\nwide-comparator trigger: {result.summary()}")

@@ -1,0 +1,74 @@
+"""Experiment E2 — verification of the Trojan-free designs (Sec. VI).
+
+The paper reports that every HT-free AES design is proven secure without any
+spurious counterexample, and that the manually cleaned RSA designs needed two
+spurious counterexamples to be resolved (the UART case study needed three).
+These benchmarks reproduce that workflow: a first run without waivers shows
+the counterexamples an engineer must review, a second run with the reviewed
+waivers proves the designs secure.
+
+Run with:  pytest benchmarks/bench_htfree.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_detection
+from repro.trusthub import load_design
+
+
+@pytest.mark.benchmark(group="ht-free")
+def test_aes_ht_free_secure_without_waivers(benchmark):
+    """HT-free AES: secure, no waivers, no spurious CEX (paper: same)."""
+    design, report = None, None
+
+    def run():
+        nonlocal design, report
+        design, report = run_detection("AES-HT-FREE", with_waivers=False)
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.is_secure
+    assert report.spurious_resolved == 0
+    assert report.coverage is not None and report.coverage.complete
+    print(f"\nAES-HT-FREE: {report.properties_checked()} properties, "
+          f"max {report.max_property_runtime():.2f} s/property, "
+          f"total {report.total_runtime_seconds:.2f} s, verdict {report.verdict.value}")
+
+
+@pytest.mark.benchmark(group="ht-free")
+def test_rsa_ht_free_requires_review_of_two_signals(benchmark):
+    """HT-free BasicRSA: two legitimate history dependencies to review (paper: 2 spurious CEXs)."""
+
+    def run():
+        return run_detection("BasicRSA-HT-FREE", with_waivers=False)[1]
+
+    raw_report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not raw_report.is_secure
+    review = {cause.signal for cause in raw_report.diagnosis.causes}
+    design = load_design("BasicRSA-HT-FREE")
+    assert review <= set(design.recommended_waivers)
+    print(f"\nBasicRSA-HT-FREE without waivers: flagged {sorted(review)} "
+          f"(paper reports 2 spurious CEXs on the RSA designs)")
+
+
+@pytest.mark.benchmark(group="ht-free")
+def test_rsa_ht_free_secure_with_waivers(benchmark):
+    def run():
+        return run_detection("BasicRSA-HT-FREE", with_waivers=True)[1]
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.is_secure
+    print(f"\nBasicRSA-HT-FREE with 2 waivers: verdict {report.verdict.value}, "
+          f"{report.properties_checked()} properties, total {report.total_runtime_seconds:.2f} s")
+
+
+@pytest.mark.benchmark(group="ht-free")
+def test_rs232_ht_free_secure_with_waivers(benchmark):
+    def run():
+        return run_detection("RS232-HT-FREE", with_waivers=True)[1]
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.is_secure
+    print(f"\nRS232-HT-FREE with waivers: verdict {report.verdict.value}")

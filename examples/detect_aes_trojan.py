@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Detect the AES-T1400 Trojan (the worked example of Fig. 6 in the paper).
+
+The benchmark wraps a fully pipelined AES-128 core with a Trojan whose
+trigger is a 4-state FSM observing a specific plaintext sequence and whose
+payload leaks key material through the switching activity of a shift register
+(a power side channel).  The script
+
+1. loads the regenerated Trust-Hub-style benchmark,
+2. shows that the design still encrypts correctly (the Trojan is dormant),
+3. runs the detection flow and prints the failing property, the
+   counterexample and its diagnosis.
+
+Run with:  python examples/detect_aes_trojan.py
+"""
+
+from repro.core import DetectionConfig, detect_trojans
+from repro.crypto.aes_ref import aes128_encrypt_block
+from repro.sim import Simulator
+from repro.trusthub import load_design
+from repro.trusthub.aes_core import AES_LATENCY
+
+
+def show_functional_behaviour(module) -> None:
+    """The infested core still passes a functional test — the Trojan is stealthy."""
+    plaintext = 0x3243F6A8885A308D313198A2E0370734
+    key = 0x2B7E151628AED2A6ABF7158809CF4F3C
+    simulator = Simulator(module)
+    values = {}
+    for _ in range(AES_LATENCY + 1):
+        values = simulator.step({"state": plaintext, "key": key})
+    expected = aes128_encrypt_block(plaintext, key)
+    status = "matches" if values["out"] == expected else "DIFFERS FROM"
+    print(f"functional check: RTL ciphertext {status} the FIPS-197 reference")
+    print(f"  ciphertext = {values['out']:032x}")
+    print()
+
+
+def main() -> None:
+    design = load_design("AES-T1400")
+    print(f"benchmark: {design.name} — payload {design.payload}, trigger {design.trigger}")
+    print(f"description: {design.description}")
+    print()
+
+    module = design.elaborate()
+    show_functional_behaviour(module)
+
+    config = DetectionConfig(inputs=list(design.data_inputs))
+    report = detect_trojans(module, config)
+
+    print(report.summary())
+    print()
+    print(f"the paper reports this Trojan as detected by: {design.expected_detection}")
+    print(f"this run detected it by:                      {report.detected_by}")
+
+
+if __name__ == "__main__":
+    main()

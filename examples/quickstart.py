@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: verify a small accelerator for sequential hardware Trojans.
+
+The example builds a tiny two-stage arithmetic accelerator twice — once clean
+and once with a counter-triggered Trojan that corrupts the result — and runs
+the golden-free detection flow of the paper on both.  No golden model is
+involved: the flow compares the design against a second instance of *itself*
+under a symbolic starting state.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import detect_trojans, elaborate_source
+
+CLEAN_ACCELERATOR = """
+module mac_accel(
+  input clk,
+  input  [15:0] a,
+  input  [15:0] b,
+  output [31:0] result
+);
+  // A small two-stage multiply-accumulate pipeline: stage 1 registers the
+  // partial product and the delayed operand, stage 2 registers the sum.
+  reg [31:0] product_q;
+  reg [15:0] a_q;
+  reg [31:0] result_q;
+  always @(posedge clk) begin
+    product_q <= a * b;
+    a_q       <= a;
+    result_q  <= product_q + {16'h0, a_q};
+  end
+  assign result = result_q;
+endmodule
+"""
+
+TROJANED_ACCELERATOR = """
+module mac_accel(
+  input clk,
+  input  [15:0] a,
+  input  [15:0] b,
+  output [31:0] result
+);
+  reg [31:0] product_q;
+  reg [15:0] a_q;
+  reg [31:0] result_q;
+  // Hardware trojan: a free-running counter flips the result LSB once in a
+  // while -- a classic sequential Trojan with a time-based trigger.
+  reg [23:0] evil_counter;
+  always @(posedge clk) begin
+    product_q    <= a * b;
+    a_q          <= a;
+    result_q     <= product_q + {16'h0, a_q};
+    evil_counter <= evil_counter + 24'd1;
+  end
+  assign result = (evil_counter == 24'hffffff) ? (result_q ^ 32'h1) : result_q;
+endmodule
+"""
+
+
+def run(title: str, source: str) -> None:
+    print(f"=== {title} ===")
+    module = elaborate_source(source, top="mac_accel")
+    report = detect_trojans(module)
+    print(report.summary())
+    print()
+
+
+def main() -> None:
+    run("clean accelerator", CLEAN_ACCELERATOR)
+    run("trojan-infested accelerator", TROJANED_ACCELERATOR)
+
+
+if __name__ == "__main__":
+    main()

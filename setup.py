@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed in editable mode in fully offline
+environments where the ``wheel`` package (needed for PEP 660 editable wheels)
+is unavailable and pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Bit-level reasoning engine: And-Inverter Graph, bit-blasting and CNF."""
+
+from repro.aig.aig import AIG, TRUE, FALSE
+from repro.aig.bitblast import BitBlaster, Vector
+from repro.aig.cnf import CnfBuilder, Cnf
+
+__all__ = ["AIG", "TRUE", "FALSE", "BitBlaster", "Vector", "CnfBuilder", "Cnf"]

@@ -1,0 +1,191 @@
+"""And-Inverter Graph with structural hashing.
+
+Literal encoding
+----------------
+A *node* is an integer index; node ``0`` is the constant-false node.  A
+*literal* is ``2 * node + sign`` where ``sign == 1`` denotes complementation,
+so ``FALSE == 0`` and ``TRUE == 1``.  Inputs (free variables) and AND nodes
+share the node index space.
+
+Structural hashing plus the usual two-level simplification rules mean that
+two structurally identical cones built over the same input literals collapse
+to the same literal.  The 2-safety engine of :mod:`repro.core.miter` relies on
+this: after substituting assumed-equal signals of the second design instance
+by the literals of the first, an untampered logic cone hashes to the
+identical literal and the proof obligation discharges without any SAT call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+FALSE = 0
+TRUE = 1
+
+
+def negate(literal: int) -> int:
+    """Complement a literal."""
+    return literal ^ 1
+
+
+class AIG:
+    """A mutable And-Inverter Graph."""
+
+    def __init__(self) -> None:
+        # _nodes[i] is None for primary inputs, or (left_lit, right_lit) for ANDs.
+        self._nodes: List[Optional[Tuple[int, int]]] = [None]  # node 0 = constant false
+        self._strash: Dict[Tuple[int, int], int] = {}
+        self._input_names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_input(self, name: Optional[str] = None) -> int:
+        """Create a fresh primary input and return its positive literal."""
+        node = len(self._nodes)
+        self._nodes.append(None)
+        if name is not None:
+            self._input_names[node] = name
+        return node << 1
+
+    def and_(self, a: int, b: int) -> int:
+        """Return a literal for ``a AND b`` with two-level simplification."""
+        if a == FALSE or b == FALSE or a == negate(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._strash[key] = node
+        return node << 1
+
+    def not_(self, a: int) -> int:
+        return negate(a)
+
+    def or_(self, a: int, b: int) -> int:
+        return negate(self.and_(negate(a), negate(b)))
+
+    def xor(self, a: int, b: int) -> int:
+        # (a AND NOT b) OR (NOT a AND b)
+        return self.or_(self.and_(a, negate(b)), self.and_(negate(a), b))
+
+    def xnor(self, a: int, b: int) -> int:
+        return negate(self.xor(a, b))
+
+    def mux(self, select: int, then: int, otherwise: int) -> int:
+        """``select ? then : otherwise``"""
+        if select == TRUE:
+            return then
+        if select == FALSE:
+            return otherwise
+        if then == otherwise:
+            return then
+        return self.or_(self.and_(select, then), self.and_(negate(select), otherwise))
+
+    def and_many(self, literals: Iterable[int]) -> int:
+        result = TRUE
+        for literal in literals:
+            result = self.and_(result, literal)
+            if result == FALSE:
+                return FALSE
+        return result
+
+    def or_many(self, literals: Iterable[int]) -> int:
+        result = FALSE
+        for literal in literals:
+            result = self.or_(result, literal)
+            if result == TRUE:
+                return TRUE
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_and_nodes(self) -> int:
+        return sum(1 for node in self._nodes if node is not None) - 0
+
+    def is_input(self, node: int) -> bool:
+        return node != 0 and self._nodes[node] is None
+
+    def is_and(self, node: int) -> bool:
+        return self._nodes[node] is not None
+
+    def node_of(self, literal: int) -> int:
+        return literal >> 1
+
+    def fanins(self, node: int) -> Tuple[int, int]:
+        children = self._nodes[node]
+        if children is None:
+            raise ValueError(f"node {node} is not an AND node")
+        return children
+
+    def input_name(self, node: int) -> Optional[str]:
+        return self._input_names.get(node)
+
+    def inputs(self) -> List[int]:
+        """All primary-input nodes."""
+        return [node for node in range(1, len(self._nodes)) if self._nodes[node] is None]
+
+    # ------------------------------------------------------------------ #
+    # Cone traversal and evaluation
+    # ------------------------------------------------------------------ #
+
+    def cone_nodes(self, roots: Iterable[int]) -> List[int]:
+        """All nodes in the transitive fanin cone of the root literals, topologically sorted."""
+        seen = set()
+        order: List[int] = []
+        stack = [self.node_of(literal) for literal in roots]
+        # Iterative DFS with explicit post-ordering.
+        visit_stack: List[Tuple[int, bool]] = [(node, False) for node in stack]
+        while visit_stack:
+            node, processed = visit_stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node in seen or node == 0:
+                continue
+            seen.add(node)
+            visit_stack.append((node, True))
+            children = self._nodes[node]
+            if children is not None:
+                left, right = children
+                visit_stack.append((self.node_of(left), False))
+                visit_stack.append((self.node_of(right), False))
+        return order
+
+    def evaluate(self, roots: Iterable[int], input_values: Dict[int, int]) -> List[int]:
+        """Evaluate root literals under an assignment of input *nodes* to 0/1."""
+        roots = list(roots)
+        values: Dict[int, int] = {0: 0}
+        for node in self.cone_nodes(roots):
+            children = self._nodes[node]
+            if children is None:
+                values[node] = input_values.get(node, 0) & 1
+            else:
+                left, right = children
+                left_value = values[self.node_of(left)] ^ (left & 1)
+                right_value = values[self.node_of(right)] ^ (right & 1)
+                values[node] = left_value & right_value
+        results = []
+        for literal in roots:
+            node = self.node_of(literal)
+            value = values.get(node, 0)
+            results.append(value ^ (literal & 1))
+        return results

@@ -1,0 +1,34 @@
+"""Baseline Trojan-detection techniques used for comparison benchmarks.
+
+These reproduce the classes of prior work the paper positions itself against
+(Sec. II):
+
+* :mod:`repro.baselines.random_sim` — dynamic functional testing against a
+  golden behavioural model (representative of verification-test approaches),
+* :mod:`repro.baselines.bmc` — bounded model checking of output equivalence
+  between two design instances (representative of BMC-based formal methods,
+  limited by the unrolling bound),
+* :mod:`repro.baselines.uci` — Unused Circuit Identification: signals whose
+  value never influences any output during testing are Trojan candidates,
+* :mod:`repro.baselines.fanci` — FANCI-style control-value analysis: wires
+  with nearly-unused inputs (very low control values) are Trojan candidates.
+
+None of these is exhaustive — that is exactly the comparison point of the
+benchmarks in ``benchmarks/bench_baseline_comparison.py``.
+"""
+
+from repro.baselines.random_sim import RandomSimulationTester, RandomSimulationResult
+from repro.baselines.bmc import BoundedTrojanChecker, BmcResult
+from repro.baselines.uci import UnusedCircuitIdentification, UciResult
+from repro.baselines.fanci import FanciAnalysis, FanciResult
+
+__all__ = [
+    "RandomSimulationTester",
+    "RandomSimulationResult",
+    "BoundedTrojanChecker",
+    "BmcResult",
+    "UnusedCircuitIdentification",
+    "UciResult",
+    "FanciAnalysis",
+    "FanciResult",
+]

@@ -1,0 +1,128 @@
+"""Dynamic functional testing baseline.
+
+Simulates the design under randomly generated stimuli and compares observed
+outputs against a golden behavioural model (or a golden RTL design).  This is
+the workhorse of conventional verification flows; its weakness — the one the
+paper exploits — is that a sequential Trojan with a long or improbable trigger
+sequence is essentially never activated by random tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.rtl.ir import Module
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class Mismatch:
+    """One detected output difference."""
+
+    cycle: int
+    signal: str
+    expected: int
+    observed: int
+
+
+@dataclass
+class RandomSimulationResult:
+    """Outcome of a random-testing campaign."""
+
+    cycles: int
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def trojan_detected(self) -> bool:
+        return bool(self.mismatches)
+
+    def summary(self) -> str:
+        if not self.mismatches:
+            return f"random simulation: no mismatch in {self.cycles} cycles"
+        first = self.mismatches[0]
+        return (
+            f"random simulation: {len(self.mismatches)} mismatches in {self.cycles} cycles, "
+            f"first at cycle {first.cycle} on {first.signal}"
+        )
+
+
+class RandomSimulationTester:
+    """Compares a design against a golden output predictor under random inputs.
+
+    Parameters
+    ----------
+    module:
+        The design under test.
+    golden:
+        Callable mapping the full input trace (a list of per-cycle input maps)
+        to the expected value of each checked output at the current cycle, or
+        ``None`` when the golden model has no prediction for that cycle (e.g.
+        while a pipeline is still filling).
+    checked_outputs:
+        Outputs to compare; defaults to all primary outputs the golden model
+        reports.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        golden: Callable[[List[Dict[str, int]]], Optional[Dict[str, int]]],
+        checked_outputs: Optional[Iterable[str]] = None,
+        seed: int = 0,
+    ) -> None:
+        self._module = module
+        self._golden = golden
+        self._checked_outputs = list(checked_outputs) if checked_outputs is not None else None
+        self._random = random.Random(seed)
+
+    def _random_inputs(self) -> Dict[str, int]:
+        stimulus: Dict[str, int] = {}
+        for name in self._module.data_inputs():
+            width = self._module.width_of(name)
+            stimulus[name] = self._random.getrandbits(width) if width > 0 else 0
+        for name in self._module.resets:
+            stimulus[name] = 0
+        return stimulus
+
+    def run(self, cycles: int, max_mismatches: int = 10) -> RandomSimulationResult:
+        """Run ``cycles`` random test cycles and collect output mismatches."""
+        simulator = Simulator(self._module)
+        history: List[Dict[str, int]] = []
+        result = RandomSimulationResult(cycles=cycles)
+        for cycle in range(cycles):
+            stimulus = self._random_inputs()
+            history.append(stimulus)
+            values = simulator.step(stimulus)
+            expected = self._golden(history)
+            if expected is None:
+                continue
+            outputs = self._checked_outputs if self._checked_outputs is not None else list(expected)
+            for name in outputs:
+                if name not in expected:
+                    continue
+                if values[name] != expected[name]:
+                    result.mismatches.append(
+                        Mismatch(cycle=cycle, signal=name, expected=expected[name], observed=values[name])
+                    )
+                    if len(result.mismatches) >= max_mismatches:
+                        return result
+        return result
+
+
+def aes_pipeline_golden(latency: int, output_name: str = "out"):
+    """Golden predictor for the pipelined AES core: reference AES delayed by ``latency``.
+
+    Returns a callable suitable for :class:`RandomSimulationTester`.
+    """
+    from repro.crypto.aes_ref import aes128_encrypt_block
+
+    def predict(history: List[Dict[str, int]]) -> Optional[Dict[str, int]]:
+        index = len(history) - latency
+        if index < 0:
+            return None
+        stimulus = history[index]
+        return {output_name: aes128_encrypt_block(stimulus.get("state", 0), stimulus.get("key", 0))}
+
+    return predict

@@ -1,0 +1,111 @@
+"""Unused Circuit Identification (UCI) baseline.
+
+Following the idea of Hicks et al. ([11] in the paper): logic whose value
+never influences any observable output during the verification tests may be
+malicious, because a stealthy Trojan stays dormant during testing.  This
+implementation works at the signal level of the flat RTL IR: it simulates the
+design under a test-stimuli set, and reports every state signal that
+
+* never changes value during the whole campaign (dormant logic), or
+* whose observable cone never differs from a run in which the signal is
+  frozen at its initial value (no influence on outputs).
+
+As [12] showed, an adversary can construct Trojans that evade UCI; the
+benchmark harness uses this baseline to show which Table I designs a
+test-based structural method flags versus the exhaustive formal flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.rtl.ir import Module
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class UciResult:
+    """Signals flagged as possibly-unused (Trojan candidates)."""
+
+    dormant_signals: List[str] = field(default_factory=list)
+    non_influencing_signals: List[str] = field(default_factory=list)
+    cycles: int = 0
+
+    @property
+    def candidates(self) -> List[str]:
+        merged = list(self.dormant_signals)
+        merged.extend(name for name in self.non_influencing_signals if name not in merged)
+        return merged
+
+    @property
+    def trojan_suspected(self) -> bool:
+        return bool(self.candidates)
+
+    def summary(self) -> str:
+        return (
+            f"UCI: {len(self.dormant_signals)} dormant and "
+            f"{len(self.non_influencing_signals)} non-influencing signal(s) "
+            f"after {self.cycles} test cycles"
+        )
+
+
+class UnusedCircuitIdentification:
+    """Simulation-based unused-circuit analysis."""
+
+    def __init__(self, module: Module, observed_outputs: Optional[Iterable[str]] = None) -> None:
+        self._module = module
+        self._outputs = list(observed_outputs) if observed_outputs is not None else list(module.outputs)
+
+    def analyze(
+        self,
+        stimuli: List[Dict[str, int]],
+        candidate_signals: Optional[Iterable[str]] = None,
+        max_freeze_checks: int = 32,
+    ) -> UciResult:
+        """Run the verification tests and identify unused circuit candidates."""
+        candidates = (
+            list(candidate_signals)
+            if candidate_signals is not None
+            else list(self._module.registers)
+        )
+        result = UciResult(cycles=len(stimuli))
+
+        # Pass 1: dormant signals (value never changes during the campaign).
+        simulator = Simulator(self._module)
+        seen_values: Dict[str, Set[int]] = {name: set() for name in candidates}
+        baseline_outputs: List[Dict[str, int]] = []
+        for stimulus in stimuli:
+            values = simulator.step(stimulus)
+            baseline_outputs.append({name: values[name] for name in self._outputs})
+            for name in candidates:
+                seen_values[name].add(values.get(name, simulator.state().get(name, 0)))
+        result.dormant_signals = sorted(name for name, values in seen_values.items() if len(values) <= 1)
+
+        # Pass 2: influence check — freeze each (dormant-first) candidate and
+        # see whether any observed output ever changes relative to baseline.
+        freeze_order = result.dormant_signals + [
+            name for name in candidates if name not in result.dormant_signals
+        ]
+        for name in freeze_order[:max_freeze_checks]:
+            frozen_value = next(iter(seen_values[name])) if seen_values[name] else 0
+            if self._outputs_unchanged_when_frozen(name, frozen_value, stimuli, baseline_outputs):
+                result.non_influencing_signals.append(name)
+        result.non_influencing_signals.sort()
+        return result
+
+    def _outputs_unchanged_when_frozen(
+        self,
+        signal: str,
+        frozen_value: int,
+        stimuli: List[Dict[str, int]],
+        baseline_outputs: List[Dict[str, int]],
+    ) -> bool:
+        simulator = Simulator(self._module)
+        for stimulus, expected in zip(stimuli, baseline_outputs):
+            simulator.set_state({signal: frozen_value})
+            values = simulator.step(stimulus)
+            for output_name, expected_value in expected.items():
+                if values[output_name] != expected_value:
+                    return False
+        return True

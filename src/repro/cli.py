@@ -1,0 +1,126 @@
+"""Command-line interface: ``repro-ht-detect``.
+
+Two modes of operation:
+
+* verify a Verilog file::
+
+      repro-ht-detect --verilog design.v --top my_accel --inputs din,key
+
+* verify one of the bundled Trust-Hub-style benchmarks::
+
+      repro-ht-detect --benchmark AES-T1400
+      repro-ht-detect --list-benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import DetectionConfig, Waiver, detect_trojans
+from repro.errors import ReproError
+from repro.rtl import elaborate_source
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ht-detect",
+        description="Golden-free formal hardware-Trojan detection (DATE'24 reproduction)",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--verilog", metavar="FILE", help="Verilog source file to verify")
+    source.add_argument("--benchmark", metavar="NAME", help="bundled Trust-Hub-style benchmark name")
+    source.add_argument(
+        "--list-benchmarks", action="store_true", help="list the bundled benchmark designs and exit"
+    )
+    parser.add_argument("--top", help="top module name (required with --verilog)")
+    parser.add_argument(
+        "--inputs",
+        help="comma-separated list of data inputs to trace (default: all non-clock/reset inputs)",
+    )
+    parser.add_argument(
+        "--waive",
+        action="append",
+        default=[],
+        metavar="SIGNAL",
+        help="assume 2-safety equality for SIGNAL (repeatable); see Sec. V-B of the paper",
+    )
+    parser.add_argument(
+        "--strict-paper-properties",
+        action="store_true",
+        help="assume only fanouts_CCk (not all previously proven classes) in fanout property k",
+    )
+    parser.add_argument(
+        "--check-all",
+        action="store_true",
+        help="do not stop at the first failing property",
+    )
+    parser.add_argument("--verbose", "-v", action="store_true", help="print per-property results")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace, default_inputs=None, default_waivers=()) -> DetectionConfig:
+    inputs = None
+    if args.inputs:
+        inputs = [name.strip() for name in args.inputs.split(",") if name.strip()]
+    elif default_inputs:
+        inputs = list(default_inputs)
+    waivers = [Waiver(signal=name, reason="command line") for name in args.waive]
+    waivers.extend(Waiver(signal=name, reason="benchmark default") for name in default_waivers)
+    return DetectionConfig(
+        inputs=inputs,
+        waivers=waivers,
+        cumulative_assumptions=not args.strict_paper_properties,
+        stop_at_first_failure=not args.check_all,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.list_benchmarks:
+            from repro.trusthub import catalog
+
+            for name, design in sorted(catalog().items()):
+                trojan = "trojan" if design.has_trojan else "HT-free"
+                print(f"{name:18s} {design.family:9s} {trojan:8s} "
+                      f"payload={design.payload:9s} trigger={design.trigger}")
+            return 0
+
+        if args.benchmark:
+            from repro.trusthub import load_design
+
+            design = load_design(args.benchmark)
+            module = design.elaborate()
+            config = _config_from_args(args, design.data_inputs, design.recommended_waivers)
+        else:
+            if not args.top:
+                parser.error("--top is required with --verilog")
+            with open(args.verilog, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            module = elaborate_source(source, args.top)
+            config = _config_from_args(args)
+
+        report = detect_trojans(module, config)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.verbose:
+        for outcome in report.outcomes:
+            status = "holds" if outcome.holds else "FAILS"
+            print(f"  {outcome.label:24s} {status:6s} "
+                  f"({outcome.result.runtime_seconds:.2f} s, "
+                  f"{len(outcome.result.prop.commitments)} commitments)")
+    print(report.summary())
+    return 0 if report.is_secure else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Configuration of the detection flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A manually disqualified dependency (Sec. V-B, scenario 2).
+
+    After inspecting a counterexample, a verification engineer may decide that
+    the dependency of some signal on earlier computations is legitimate design
+    behaviour, not a Trojan.  A waiver for that signal adds the 2-safety
+    equality assumption ``instance1.signal@t == instance2.signal@t`` to every
+    property, exactly like the paper's "equality for x can then be assumed".
+    """
+
+    signal: str
+    reason: str = ""
+
+
+@dataclass
+class DetectionConfig:
+    """Tuning knobs of :class:`repro.core.flow.TrojanDetectionFlow`.
+
+    Attributes
+    ----------
+    inputs:
+        The accelerator's data inputs (Algorithm 1's ``inputs`` argument).
+        Defaults to every primary input that is not a clock or reset.
+    cumulative_assumptions:
+        When true (default), the property for class ``k+1`` assumes equality of
+        *all* classes ``1..k`` instead of only ``fanouts_CCk``.  This is the
+        automated form of the paper's Sec. V-B scenario 1 (re-ordering /
+        strengthening with already-proven equalities): only signals proven by
+        earlier properties of the same run are assumed, so soundness is
+        unaffected, and structural false alarms caused by cross-class fanin
+        disappear.  Set to false for the strict, paper-literal property shape.
+    assume_inputs_at_prove_time:
+        When true (default), every property additionally assumes input
+        equality at the prove time point ``t+1``.  The miter of Fig. 2 feeds
+        both instances the same input stream, so the assumption is part of the
+        computational model; it only matters for outputs with a combinational
+        input path.
+    waivers:
+        Manually disqualified dependencies (Sec. V-B scenario 2).
+    stop_at_first_failure:
+        Algorithm 1 returns at the first counterexample (default).  When
+        false, the flow keeps checking all remaining properties and reports
+        every failure — convenient for analysing a design in one run.
+    max_class:
+        Optional upper bound on the number of fanout iterations, mainly for
+        tests and for experimenting with truncated flows.
+    """
+
+    inputs: Optional[Sequence[str]] = None
+    cumulative_assumptions: bool = True
+    assume_inputs_at_prove_time: bool = True
+    waivers: List[Waiver] = field(default_factory=list)
+    stop_at_first_failure: bool = True
+    max_class: Optional[int] = None
+
+    def waived_signals(self) -> List[str]:
+        return [waiver.signal for waiver in self.waivers]
+
+    def with_waivers(self, *signals: str, reason: str = "") -> "DetectionConfig":
+        """A copy of this configuration with additional waived signals."""
+        new_waivers = list(self.waivers) + [Waiver(signal=name, reason=reason) for name in signals]
+        return DetectionConfig(
+            inputs=self.inputs,
+            cumulative_assumptions=self.cumulative_assumptions,
+            assume_inputs_at_prove_time=self.assume_inputs_at_prove_time,
+            waivers=new_waivers,
+            stop_at_first_failure=self.stop_at_first_failure,
+            max_class=self.max_class,
+        )

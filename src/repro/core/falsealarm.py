@@ -1,0 +1,166 @@
+"""Counterexample diagnosis and spurious-CEX handling (Sec. V-B).
+
+A failing init/fanout property does not automatically mean the design is
+Trojan-infested: a signal may legitimately depend on values of previous
+computations (scenario 2 of Sec. V-B), or the proof order may simply not have
+provided an equality that another property establishes (scenario 1).
+
+This module implements the *analysis* part of that work: given a
+counterexample, it identifies for every failing signal the fanin leaves whose
+inequality caused the failure, classifies each cause, and proposes the
+corresponding resolution:
+
+* ``REORDER``      — the causing signal is proven equal by another property of
+  the same run; adding its equality to the failing property's assumptions is
+  justified without further inspection (scenario 1).
+* ``NEEDS_REVIEW`` — the causing signal is not proven anywhere: either it is a
+  legitimate history dependency (the engineer adds a waiver) or it is part of
+  a Trojan (scenario 2 / an actual detection).
+
+The decision for ``NEEDS_REVIEW`` causes is deliberately left to the user —
+automatically assuming them away could mask a real Trojan, as the trigger
+state of a sequential HT is exactly such a signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from repro.core.config import DetectionConfig, Waiver
+from repro.ipc.cex import CounterExample
+from repro.ipc.prop import IntervalProperty, Term
+from repro.rtl.fanout import FanoutAnalysis
+from repro.rtl.ir import Module
+from repro.rtl.netlist import DependencyGraph
+
+
+class CauseKind(Enum):
+    """Classification of a signal that caused a property failure."""
+
+    REORDER = "provable-by-other-property"
+    NEEDS_REVIEW = "requires-manual-review"
+
+
+@dataclass
+class Cause:
+    """One fanin signal responsible for the observed difference."""
+
+    signal: str
+    kind: CauseKind
+    covered_class: Optional[int] = None
+    value_instance1: Optional[int] = None
+    value_instance2: Optional[int] = None
+
+    def describe(self) -> str:
+        values = ""
+        if self.value_instance1 is not None and self.value_instance2 is not None:
+            values = f" (instance1=0x{self.value_instance1:x}, instance2=0x{self.value_instance2:x})"
+        if self.kind is CauseKind.REORDER:
+            return (
+                f"{self.signal}: proven equal by the property of class {self.covered_class}; "
+                f"add its equality to the assumptions and re-verify{values}"
+            )
+        return (
+            f"{self.signal}: not proven equal by any property — either waive it as legitimate "
+            f"history dependency or treat it as part of a Trojan{values}"
+        )
+
+
+@dataclass
+class CexDiagnosis:
+    """Full diagnosis of one counterexample."""
+
+    prop: IntervalProperty
+    cex: CounterExample
+    causes: List[Cause] = field(default_factory=list)
+    failing_signals: List[str] = field(default_factory=list)
+
+    def reorder_causes(self) -> List[Cause]:
+        return [cause for cause in self.causes if cause.kind is CauseKind.REORDER]
+
+    def review_causes(self) -> List[Cause]:
+        return [cause for cause in self.causes if cause.kind is CauseKind.NEEDS_REVIEW]
+
+    @property
+    def auto_resolvable(self) -> bool:
+        """True when every cause is provable by another property (scenario 1)."""
+        return bool(self.causes) and not self.review_causes()
+
+    def proposed_assumptions(self) -> List[str]:
+        """Signals whose equality may be added without manual review."""
+        return sorted({cause.signal for cause in self.reorder_causes()})
+
+    def proposed_waivers(self, reason: str = "manual review") -> List[Waiver]:
+        """Waiver objects for the causes that need engineering judgement."""
+        return [Waiver(signal=cause.signal, reason=reason) for cause in self.review_causes()]
+
+    def summary(self) -> str:
+        lines = [f"diagnosis of {self.prop.name} ({len(self.failing_signals)} failing signal(s)):"]
+        for cause in self.causes:
+            lines.append("  " + cause.describe())
+        if not self.causes:
+            lines.append("  no unconstrained fanin found; the difference is produced by the logic itself")
+        return "\n".join(lines)
+
+
+def diagnose_counterexample(
+    module: Module,
+    analysis: FanoutAnalysis,
+    prop: IntervalProperty,
+    cex: CounterExample,
+    graph: Optional[DependencyGraph] = None,
+    config: Optional[DetectionConfig] = None,
+) -> CexDiagnosis:
+    """Explain why ``prop`` failed with ``cex`` and classify the causes."""
+    graph = graph or DependencyGraph(module)
+    config = config or DetectionConfig()
+    assumed_at_t: Set[str] = {
+        constraint.left.signal
+        for constraint in prop.assumptions
+        if isinstance(constraint.right, Term) and constraint.left.time == 0
+    }
+    # Signals this very property is responsible for proving.  Assuming their
+    # equality in order to prove themselves (or their peers in the same
+    # property) would be circular and could mask a Trojan whose trigger state
+    # happens to lie inside the input fanout cone — those causes always need
+    # engineering judgement.
+    proven_here: Set[str] = {constraint.left.signal for constraint in prop.commitments}
+    diagnosis = CexDiagnosis(prop=prop, cex=cex, failing_signals=cex.signals_with_difference())
+
+    causes: Dict[str, Cause] = {}
+    for failing in diagnosis.failing_signals:
+        if module.is_register(failing):
+            leaves = graph.next_state_leaf_support(failing)
+        else:
+            leaves = graph.leaf_support(failing)
+            # A non-registered output evaluated at t+1 depends on registers at
+            # t+1, whose values come from their own next-state fanin at t.
+            expanded: Set[str] = set()
+            for leaf in leaves:
+                if module.is_register(leaf):
+                    expanded |= graph.next_state_leaf_support(leaf)
+                else:
+                    expanded.add(leaf)
+            leaves = expanded
+        for leaf in sorted(leaves):
+            if leaf in assumed_at_t or module.is_input(leaf) or leaf in causes:
+                continue
+            value1 = cex.values.get((0, 0, leaf))
+            value2 = cex.values.get((1, 0, leaf))
+            if value1 is not None and value1 == value2:
+                # The counterexample does not rely on this leaf differing.
+                continue
+            covered_class = analysis.placement.get(leaf)
+            provable_elsewhere = covered_class is not None and leaf not in proven_here
+            kind = CauseKind.REORDER if provable_elsewhere else CauseKind.NEEDS_REVIEW
+            causes[leaf] = Cause(
+                signal=leaf,
+                kind=kind,
+                covered_class=covered_class,
+                value_instance1=value1,
+                value_instance2=value2,
+            )
+    diagnosis.causes = list(causes.values())
+    return diagnosis

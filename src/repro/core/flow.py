@@ -1,0 +1,162 @@
+"""Algorithm 1: the iterative formal hardware-Trojan detection flow.
+
+The flow checks the init property, then one fanout property per fanout class,
+and concludes with the structural signal-coverage check.  Every failing
+property yields a counterexample together with a diagnosis (Sec. V-B); causes
+that are provable by another property of the same run are resolved
+automatically by re-verification with strengthened assumptions, everything
+else is reported to the user.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import List, Optional
+
+from repro.core.config import DetectionConfig
+from repro.core.coverage import check_signal_coverage
+from repro.core.falsealarm import CexDiagnosis, diagnose_counterexample
+from repro.core.properties import build_fanout_property, build_init_property
+from repro.core.report import DetectionReport, PropertyOutcome, Verdict
+from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.ipc.prop import IntervalProperty
+from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
+from repro.rtl.ir import Module
+from repro.rtl.netlist import DependencyGraph
+
+
+class TrojanDetectionFlow:
+    """Runs the iterative detection flow of Algorithm 1 on one module."""
+
+    def __init__(self, module: Module, config: Optional[DetectionConfig] = None) -> None:
+        self._module = module
+        self._config = config or DetectionConfig()
+        self._graph = DependencyGraph(module)
+        self._analysis = compute_fanout_classes(
+            module, inputs=self._config.inputs, graph=self._graph
+        )
+        self._engine = IpcEngine(module)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def module(self) -> Module:
+        return self._module
+
+    @property
+    def config(self) -> DetectionConfig:
+        return self._config
+
+    @property
+    def analysis(self) -> FanoutAnalysis:
+        return self._analysis
+
+    @property
+    def engine(self) -> IpcEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> DetectionReport:
+        """Execute the complete flow and return the detection report."""
+        started = _time.perf_counter()
+        report = DetectionReport(
+            design=self._module.name,
+            verdict=Verdict.SECURE,
+            fanout_analysis=self._analysis,
+        )
+
+        depth = self._analysis.placement_depth
+        if self._config.max_class is not None:
+            depth = min(depth, self._config.max_class)
+
+        for k in range(0, depth):
+            outcome = self._check_class(k)
+            report.outcomes.append(outcome)
+            report.spurious_resolved += outcome.resolved_spurious
+            if not outcome.holds:
+                report.verdict = Verdict.TROJAN_SUSPECTED
+                report.detected_by = outcome.label
+                report.counterexample = outcome.result.cex
+                report.diagnosis = outcome.diagnosis
+                if self._config.stop_at_first_failure:
+                    report.total_runtime_seconds = _time.perf_counter() - started
+                    return report
+
+        # Coverage check (Algorithm 1, line 17): only meaningful when no
+        # property already failed.
+        coverage = check_signal_coverage(self._module, self._analysis, self._graph)
+        report.coverage = coverage
+        if report.verdict is Verdict.SECURE and not coverage.complete:
+            report.verdict = Verdict.UNCOVERED_SIGNALS
+            report.detected_by = "coverage check"
+
+        report.total_runtime_seconds = _time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Per-class property checking with spurious-CEX resolution
+    # ------------------------------------------------------------------ #
+
+    def _build_property(self, k: int) -> IntervalProperty:
+        if k == 0:
+            return build_init_property(self._module, self._analysis, self._config)
+        return build_fanout_property(self._module, self._analysis, k, self._config)
+
+    def _check_class(self, k: int) -> PropertyOutcome:
+        """Check the property of class ``k`` (0 = init property).
+
+        If the property fails, the counterexample is diagnosed; when every
+        cause is provable by another property of the run (Sec. V-B scenario 1)
+        the property is re-verified with those equalities added.  Causes that
+        would need engineering judgement are never assumed automatically.
+        """
+        kind = "init" if k == 0 else "fanout"
+        prop = self._build_property(k)
+        resolved = 0
+        extra_assumptions: List[str] = []
+        diagnosis: Optional[CexDiagnosis] = None
+
+        while True:
+            if extra_assumptions:
+                prop = self._build_property(k)
+                for signal in extra_assumptions:
+                    prop.assume_equal(signal, 0)
+            result = self._check_property(prop)
+            if result.holds:
+                return PropertyOutcome(kind=kind, index=k, result=result, resolved_spurious=resolved)
+            diagnosis = diagnose_counterexample(
+                self._module, self._analysis, prop, result.cex, self._graph, self._config
+            )
+            if diagnosis.auto_resolvable:
+                new_assumptions = [
+                    signal
+                    for signal in diagnosis.proposed_assumptions()
+                    if signal not in extra_assumptions
+                ]
+                if new_assumptions:
+                    extra_assumptions.extend(new_assumptions)
+                    resolved += 1
+                    continue
+            return PropertyOutcome(
+                kind=kind,
+                index=k,
+                result=result,
+                diagnosis=diagnosis,
+                resolved_spurious=resolved,
+            )
+
+    def _check_property(self, prop: IntervalProperty) -> PropertyCheckResult:
+        if not prop.commitments:
+            # Nothing to prove for this class; report a trivially holding result.
+            return PropertyCheckResult(prop=prop, holds=True, structurally_proven=True)
+        return self._engine.check(prop)
+
+
+def detect_trojans(module: Module, config: Optional[DetectionConfig] = None) -> DetectionReport:
+    """Convenience wrapper: run Algorithm 1 on ``module`` and return the report."""
+    return TrojanDetectionFlow(module, config).run()

@@ -1,0 +1,116 @@
+"""Verdicts and detection reports produced by the flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.coverage import CoverageResult
+from repro.core.falsealarm import CexDiagnosis
+from repro.ipc.cex import CounterExample
+from repro.ipc.engine import PropertyCheckResult
+from repro.rtl.fanout import FanoutAnalysis
+
+
+class Verdict(Enum):
+    """Overall outcome of a detection run."""
+
+    SECURE = "secure"
+    TROJAN_SUSPECTED = "trojan-suspected"
+    UNCOVERED_SIGNALS = "uncovered-signals"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class PropertyOutcome:
+    """Result of one property of the iterative flow."""
+
+    kind: str  # "init" or "fanout"
+    index: int  # 0 for the init property, k for fanout_property_k
+    result: PropertyCheckResult
+    diagnosis: Optional[CexDiagnosis] = None
+    # Number of spurious counterexamples that were resolved by re-verification
+    # with strengthened assumptions (Sec. V-B scenario 1) before this result.
+    resolved_spurious: int = 0
+
+    @property
+    def label(self) -> str:
+        return "init property" if self.kind == "init" else f"fanout property {self.index}"
+
+    @property
+    def holds(self) -> bool:
+        return self.result.holds
+
+
+@dataclass
+class DetectionReport:
+    """Complete, machine-readable result of a detection run (Algorithm 1)."""
+
+    design: str
+    verdict: Verdict
+    detected_by: Optional[str] = None
+    outcomes: List[PropertyOutcome] = field(default_factory=list)
+    counterexample: Optional[CounterExample] = None
+    diagnosis: Optional[CexDiagnosis] = None
+    coverage: Optional[CoverageResult] = None
+    fanout_analysis: Optional[FanoutAnalysis] = None
+    total_runtime_seconds: float = 0.0
+    spurious_resolved: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Convenience queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_secure(self) -> bool:
+        return self.verdict is Verdict.SECURE
+
+    @property
+    def trojan_detected(self) -> bool:
+        """True when the run flags the design (property failure or coverage gap)."""
+        return self.verdict is not Verdict.SECURE
+
+    def properties_checked(self) -> int:
+        return len(self.outcomes)
+
+    def property_runtimes(self) -> Dict[str, float]:
+        return {outcome.label: outcome.result.runtime_seconds for outcome in self.outcomes}
+
+    def max_property_runtime(self) -> float:
+        runtimes = [outcome.result.runtime_seconds for outcome in self.outcomes]
+        return max(runtimes) if runtimes else 0.0
+
+    def failing_outcome(self) -> Optional[PropertyOutcome]:
+        for outcome in self.outcomes:
+            if not outcome.holds:
+                return outcome
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        lines = [f"design {self.design}: {self.verdict.value.upper()}"]
+        if self.detected_by:
+            lines.append(f"  detected by: {self.detected_by}")
+        lines.append(
+            f"  properties checked: {self.properties_checked()}"
+            f" (max proof runtime {self.max_property_runtime():.2f} s,"
+            f" total {self.total_runtime_seconds:.2f} s)"
+        )
+        if self.spurious_resolved:
+            lines.append(f"  spurious counterexamples resolved: {self.spurious_resolved}")
+        if self.coverage is not None and not self.coverage.complete:
+            lines.append("  " + self.coverage.summary().replace("\n", "\n  "))
+        if self.counterexample is not None:
+            lines.append("  " + self.counterexample.format().replace("\n", "\n  "))
+        if self.diagnosis is not None:
+            lines.append("  " + self.diagnosis.summary().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()

@@ -1,0 +1,12 @@
+"""Pure-Python reference models of the algorithms the benchmark IPs implement.
+
+These behavioural models are used **only** to validate that the generated RTL
+cores are real cryptographic accelerators (via simulation) and to drive the
+dynamic-testing baseline.  The detection method itself never consults them —
+it is golden-free by construction.
+"""
+
+from repro.crypto.aes_ref import aes128_encrypt_block, expand_key_128, SBOX
+from repro.crypto.rsa_ref import mod_exp, rsa_encrypt
+
+__all__ = ["aes128_encrypt_block", "expand_key_128", "SBOX", "mod_exp", "rsa_encrypt"]

@@ -1,0 +1,151 @@
+"""Reference AES-128 block encryption (FIPS-197).
+
+The implementation follows the specification directly (state as a 4x4 byte
+matrix, column-major).  Block and key values are 128-bit integers with the
+first byte of the standard test vectors in the most significant position,
+matching how the RTL core's 128-bit ports are laid out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def _generate_sbox() -> Tuple[int, ...]:
+    """Compute the AES S-box from the finite-field definition."""
+
+    def gf_mul(a: int, b: int) -> int:
+        product = 0
+        for _ in range(8):
+            if b & 1:
+                product ^= a
+            high = a & 0x80
+            a = (a << 1) & 0xFF
+            if high:
+                a ^= 0x1B
+            b >>= 1
+        return product
+
+    # Multiplicative inverses via exponentiation (a^254).
+    def gf_inverse(a: int) -> int:
+        if a == 0:
+            return 0
+        result = 1
+        base = a
+        exponent = 254
+        while exponent:
+            if exponent & 1:
+                result = gf_mul(result, base)
+            base = gf_mul(base, base)
+            exponent >>= 1
+        return result
+
+    sbox = []
+    for value in range(256):
+        inverse = gf_inverse(value)
+        transformed = 0
+        for bit in range(8):
+            new_bit = (
+                (inverse >> bit)
+                ^ (inverse >> ((bit + 4) % 8))
+                ^ (inverse >> ((bit + 5) % 8))
+                ^ (inverse >> ((bit + 6) % 8))
+                ^ (inverse >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            transformed |= new_bit << bit
+        sbox.append(transformed)
+    return tuple(sbox)
+
+
+SBOX: Tuple[int, ...] = _generate_sbox()
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _bytes_of(block: int) -> List[int]:
+    """128-bit integer -> 16 bytes, most significant byte first."""
+    return [(block >> (8 * (15 - index))) & 0xFF for index in range(16)]
+
+
+def _block_of(data: List[int]) -> int:
+    value = 0
+    for byte in data:
+        value = (value << 8) | (byte & 0xFF)
+    return value
+
+
+def _xtime(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value = (value ^ 0x1B) & 0xFF
+    return value
+
+
+def _mul(a: int, b: int) -> int:
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key_128(key: int) -> List[List[int]]:
+    """Expand a 128-bit key into 11 round keys (each a list of 16 bytes)."""
+    key_bytes = _bytes_of(key)
+    words = [key_bytes[4 * i : 4 * i + 4] for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum((words[4 * r + c] for c in range(4)), []) for r in range(11)]
+
+
+def _sub_bytes(state: List[int]) -> List[int]:
+    return [SBOX[b] for b in state]
+
+
+def _shift_rows(state: List[int]) -> List[int]:
+    # state is column-major: state[4*c + r] is row r, column c.
+    shifted = list(state)
+    for row in range(1, 4):
+        row_bytes = [state[4 * column + row] for column in range(4)]
+        row_bytes = row_bytes[row:] + row_bytes[:row]
+        for column in range(4):
+            shifted[4 * column + row] = row_bytes[column]
+    return shifted
+
+
+def _mix_columns(state: List[int]) -> List[int]:
+    mixed = list(state)
+    for column in range(4):
+        a = state[4 * column : 4 * column + 4]
+        mixed[4 * column + 0] = _mul(a[0], 2) ^ _mul(a[1], 3) ^ a[2] ^ a[3]
+        mixed[4 * column + 1] = a[0] ^ _mul(a[1], 2) ^ _mul(a[2], 3) ^ a[3]
+        mixed[4 * column + 2] = a[0] ^ a[1] ^ _mul(a[2], 2) ^ _mul(a[3], 3)
+        mixed[4 * column + 3] = _mul(a[0], 3) ^ a[1] ^ a[2] ^ _mul(a[3], 2)
+    return mixed
+
+
+def _add_round_key(state: List[int], round_key: List[int]) -> List[int]:
+    return [a ^ b for a, b in zip(state, round_key)]
+
+
+def aes128_encrypt_block(plaintext: int, key: int) -> int:
+    """Encrypt one 128-bit block with a 128-bit key; returns the ciphertext."""
+    round_keys = expand_key_128(key)
+    state = _add_round_key(_bytes_of(plaintext), round_keys[0])
+    for round_index in range(1, 10):
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = _mix_columns(state)
+        state = _add_round_key(state, round_keys[round_index])
+    state = _sub_bytes(state)
+    state = _shift_rows(state)
+    state = _add_round_key(state, round_keys[10])
+    return _block_of(state)

@@ -1,0 +1,47 @@
+"""Reference model of the BasicRSA accelerator: modular exponentiation.
+
+The Trust-Hub *BasicRSA* benchmark implements textbook RSA on small (32-bit)
+operands via square-and-multiply with an iterative modular multiplier.  The
+reference below mirrors that behaviour so the RTL core can be validated by
+simulation.
+"""
+
+from __future__ import annotations
+
+
+def mod_mul(a: int, b: int, modulus: int) -> int:
+    """Modular multiplication ``(a * b) mod modulus`` (shift-and-add form)."""
+    if modulus == 0:
+        return 0
+    result = 0
+    a %= modulus
+    while b:
+        if b & 1:
+            result = (result + a) % modulus
+        a = (a << 1) % modulus
+        b >>= 1
+    return result
+
+
+def mod_exp(base: int, exponent: int, modulus: int) -> int:
+    """Modular exponentiation ``base ** exponent mod modulus`` (LSB-first)."""
+    if modulus == 0:
+        return 0
+    result = 1 % modulus
+    base %= modulus
+    while exponent:
+        if exponent & 1:
+            result = mod_mul(result, base, modulus)
+        base = mod_mul(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def rsa_encrypt(message: int, exponent: int, modulus: int) -> int:
+    """Textbook RSA encryption of ``message`` (no padding, small operands)."""
+    return mod_exp(message, exponent, modulus)
+
+
+def rsa_decrypt(ciphertext: int, private_exponent: int, modulus: int) -> int:
+    """Textbook RSA decryption (inverse of :func:`rsa_encrypt`)."""
+    return mod_exp(ciphertext, private_exponent, modulus)

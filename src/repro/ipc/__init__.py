@@ -1,0 +1,29 @@
+"""Interval Property Checking (IPC) over a symbolic starting state.
+
+IPC proves bounded properties of the form *assume(t..t+n) => prove(t..t+n)*
+where the starting state of the design is left completely symbolic (any state
+the solver chooses).  A property that holds is therefore valid for *every*
+reachable and unreachable starting state — which is what lets the paper
+"fast-forward" over arbitrarily long Trojan trigger sequences (Sec. IV-B).
+
+The engine supports *2-safety* properties: terms may refer to one of two
+independent instances of the same design, which share nothing except the
+constraints stated in the property.  This implements the miter of Fig. 2
+without ever duplicating the RTL description.
+"""
+
+from repro.ipc.prop import IntervalProperty, Term, Equality
+from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.ipc.cex import CounterExample
+from repro.ipc.transition import TransitionEncoder, SymbolicFrame
+
+__all__ = [
+    "IntervalProperty",
+    "Term",
+    "Equality",
+    "IpcEngine",
+    "PropertyCheckResult",
+    "CounterExample",
+    "TransitionEncoder",
+    "SymbolicFrame",
+]

@@ -1,0 +1,60 @@
+"""Counterexample objects returned by failed property checks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+# (instance index, time offset, signal name) -> value
+Valuation = Dict[Tuple[int, int, str], int]
+
+
+@dataclass
+class CounterExample:
+    """A concrete witness for a failing interval property.
+
+    Attributes
+    ----------
+    property_name:
+        The property that failed.
+    failing_signals:
+        Signals of the prove part whose two sides differ, with the differing
+        values: ``(signal, time, value_instance1, value_instance2)``.
+    values:
+        Complete valuation of the signals involved in the check, keyed by
+        ``(instance, time, signal)``.  Instance indices are 0-based.
+    """
+
+    property_name: str
+    failing_signals: List[Tuple[str, int, int, int]] = field(default_factory=list)
+    values: Valuation = field(default_factory=dict)
+
+    def value(self, signal: str, time: int = 0, instance: int = 0) -> int:
+        return self.values[(instance, time, signal)]
+
+    def signals_with_difference(self) -> List[str]:
+        return sorted({signal for signal, _, _, _ in self.failing_signals})
+
+    def format(self, max_signals: int = 16) -> str:
+        """Human-readable report, the equivalent of a property checker's waveform."""
+        lines = [f"counterexample for {self.property_name}:"]
+        for signal, time, left, right in self.failing_signals[:max_signals]:
+            lines.append(
+                f"  {signal}@t+{time}: instance1 = 0x{left:x}, instance2 = 0x{right:x}"
+            )
+        hidden = len(self.failing_signals) - max_signals
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more differing signals")
+        starting_state = [
+            (signal, instance, value)
+            for (instance, time, signal), value in sorted(self.values.items())
+            if time == 0
+        ]
+        if starting_state:
+            lines.append("  starting-state excerpt:")
+            for signal, instance, value in starting_state[:max_signals]:
+                lines.append(f"    instance{instance + 1}.{signal}@t = 0x{value:x}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,353 @@
+"""The IPC engine: checks interval properties over symbolic starting states.
+
+The check of an interval property proceeds in three stages:
+
+1. *Assumption merging.*  Equality assumptions between free leaves (primary
+   inputs at any time point, registers at the first time point) are applied
+   by construction: the right-hand instance's leaf simply reuses the literal
+   vector of the left-hand instance.  This is sound — it restricts the model
+   exactly as the assumption does — and it is what lets structurally identical
+   logic collapse in the next stage.
+2. *Structural discharge.*  Both sides of every commitment are bit-blasted
+   onto one shared, structurally hashed AIG.  A commitment whose two sides
+   reduce to the same literal vector is proven without touching the SAT
+   solver.  In an untampered design this discharges every proof obligation.
+3. *SAT search.*  Remaining commitments form a miter (OR of bit differences)
+   which is checked together with the non-merged assumptions by the CDCL
+   solver.  A satisfying assignment is turned into a readable
+   :class:`repro.ipc.cex.CounterExample`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.aig.aig import FALSE, TRUE, negate
+from repro.aig.bitblast import Vector
+from repro.aig.cnf import CnfBuilder
+from repro.errors import PropertyError
+from repro.ipc.cex import CounterExample
+from repro.ipc.prop import Equality, IntervalProperty, Term
+from repro.ipc.transition import SymbolicFrame, TransitionEncoder
+from repro.rtl.ir import Module
+from repro.sat.solver import SatSolver
+from repro.utils.bitvec import from_bits
+
+
+@dataclass
+class PropertyCheckResult:
+    """Outcome of one property check."""
+
+    prop: IntervalProperty
+    holds: bool
+    cex: Optional[CounterExample] = None
+    structurally_proven: bool = False
+    runtime_seconds: float = 0.0
+    sat_conflicts: int = 0
+    sat_decisions: int = 0
+    aig_nodes: int = 0
+    cnf_vars: int = 0
+    cnf_clauses: int = 0
+    merged_assumptions: int = 0
+    clause_assumptions: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.prop.name
+
+    def __bool__(self) -> bool:  # truthiness == "property holds"
+        return self.holds
+
+
+class IpcEngine:
+    """Checks interval properties of one module, reusing work across checks.
+
+    The engine keeps the frames of instance 0 (and the shared AIG) alive
+    between calls, because the iterative detection flow checks one property
+    per fanout class over the *same* one-cycle window.  Frames of further
+    instances are rebuilt per property since their leaf merging depends on the
+    property's assumptions.
+    """
+
+    def __init__(self, module: Module, persistent_instances: Tuple[int, ...] = (0,)) -> None:
+        self._module = module
+        self._encoder = TransitionEncoder(module)
+        self._base_frames: Dict[int, List[SymbolicFrame]] = {}
+        # Frames of these instances are kept across check() calls; their leaves
+        # must never be rebound by assumption merging (a clause constraint is
+        # used instead), otherwise one property could constrain the next.
+        self._persistent_instances = set(persistent_instances)
+
+    @property
+    def module(self) -> Module:
+        return self._module
+
+    @property
+    def encoder(self) -> TransitionEncoder:
+        return self._encoder
+
+    # ------------------------------------------------------------------ #
+    # Frame management
+    # ------------------------------------------------------------------ #
+
+    def _frames_for_instance(self, instance: int, window: int, persistent: bool) -> List[SymbolicFrame]:
+        if persistent:
+            frames = self._base_frames.setdefault(instance, [])
+        else:
+            frames = []
+        if not frames:
+            frames.append(self._encoder.new_frame(f"i{instance}@0"))
+        while len(frames) <= window:
+            time_index = len(frames)
+            frames.append(self._encoder.step(frames[-1], f"i{instance}@{time_index}"))
+        return frames
+
+    # ------------------------------------------------------------------ #
+    # Property checking
+    # ------------------------------------------------------------------ #
+
+    def check(self, prop: IntervalProperty) -> PropertyCheckResult:
+        """Check one interval property; returns the result with optional CEX."""
+        started = _time.perf_counter()
+        prop.validate()
+        window = prop.window()
+        instances = prop.instances()
+
+        frames: Dict[int, List[SymbolicFrame]] = {}
+        for instance in instances:
+            # Persistent-instance frames survive across properties; the leaves
+            # of the other instances depend on the property's merge set, so
+            # they are rebuilt for every check.
+            persistent = instance in self._persistent_instances
+            frames[instance] = self._frames_for_instance(instance, window, persistent)
+
+        merged, clause_assumptions = self._apply_assumption_merging(prop, frames, window)
+
+        # Bit-blast both sides of every commitment.
+        obligations: List[Tuple[Equality, Vector, Vector, int]] = []
+        for commitment in prop.commitments:
+            left_vector = self._term_vector(commitment.left, frames)
+            right_vector = self._constraint_rhs_vector(commitment, frames, left_vector)
+            difference = self._difference_literal(left_vector, right_vector)
+            obligations.append((commitment, left_vector, right_vector, difference))
+
+        pending = [entry for entry in obligations if entry[3] != FALSE]
+        result = PropertyCheckResult(
+            prop=prop,
+            holds=True,
+            structurally_proven=not pending and not clause_assumptions,
+            merged_assumptions=merged,
+            clause_assumptions=len(clause_assumptions),
+            aig_nodes=self._encoder.aig.num_nodes,
+        )
+        if not pending:
+            result.runtime_seconds = _time.perf_counter() - started
+            return result
+
+        holds, model_values = self._solve(clause_assumptions, pending, result)
+        result.holds = holds
+        if not holds:
+            result.cex = self._build_counterexample(prop, frames, obligations, model_values, window)
+        result.runtime_seconds = _time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Assumptions
+    # ------------------------------------------------------------------ #
+
+    def _is_free_leaf(self, term: Term) -> bool:
+        module = self._module
+        if module.is_input(term.signal):
+            return True
+        return module.is_register(term.signal) and term.time == 0
+
+    def _apply_assumption_merging(
+        self,
+        prop: IntervalProperty,
+        frames: Dict[int, List[SymbolicFrame]],
+        window: int,
+    ) -> Tuple[int, List[int]]:
+        """Bind mergeable equalities directly; return (merge count, other literals).
+
+        Merging happens in a first pass over *all* assumptions, and only then
+        are the remaining assumptions turned into clause constraints.  The
+        clause constraints bit-blast combinational cones of the non-persistent
+        instance, which must not happen before every bindable leaf has been
+        bound — otherwise a cone cached early would keep referring to stale
+        free variables of a leaf that a later assumption merges.
+        """
+        merged = 0
+        deferred: List[Tuple[Term, Union[Term, int]]] = []
+        bound: set = set()
+
+        def try_bind(target: Term, vector) -> bool:
+            frame = frames[target.instance][target.time]
+            if frame.is_bound(target.signal):
+                return False
+            frame.bind_leaf(target.signal, vector)
+            bound.add((target.instance, target.time, target.signal))
+            return True
+
+        for assumption in prop.assumptions:
+            left, right = assumption.left, assumption.right
+            if isinstance(right, Term):
+                mergeable = (
+                    self._is_free_leaf(right)
+                    and right.instance not in self._persistent_instances
+                    and right.time <= window
+                    and (right.instance, right.time, right.signal) not in bound
+                    and self._module.width_of(left.signal) == self._module.width_of(right.signal)
+                    and (right.instance, right.signal) != (left.instance, left.signal)
+                )
+                if mergeable and try_bind(right, self._term_vector(left, frames)):
+                    merged += 1
+                    continue
+                deferred.append((left, right))
+            else:
+                width = self._module.width_of(left.signal)
+                constant_vector = self._encoder.blaster.constant(int(right), width)
+                bindable = (
+                    self._is_free_leaf(left)
+                    and left.instance not in self._persistent_instances
+                    and (left.instance, left.time, left.signal) not in bound
+                )
+                if bindable and try_bind(left, constant_vector):
+                    merged += 1
+                    continue
+                deferred.append((left, right))
+
+        clause_literals: List[int] = []
+        for left, right in deferred:
+            left_vector = self._term_vector(left, frames)
+            if isinstance(right, Term):
+                right_vector = self._term_vector(right, frames)
+            else:
+                right_vector = self._encoder.blaster.constant(int(right), len(left_vector))
+            clause_literals.append(self._equality_literal(left_vector, right_vector))
+        return merged, [literal for literal in clause_literals if literal != TRUE]
+
+    # ------------------------------------------------------------------ #
+    # Term evaluation
+    # ------------------------------------------------------------------ #
+
+    def _term_vector(self, term: Term, frames: Dict[int, List[SymbolicFrame]]) -> Vector:
+        if term.signal not in self._module.signals:
+            raise PropertyError(f"property references unknown signal {term.signal!r}")
+        return frames[term.instance][term.time].vector_of(term.signal)
+
+    def _constraint_rhs_vector(
+        self,
+        constraint: Equality,
+        frames: Dict[int, List[SymbolicFrame]],
+        left_vector: Vector,
+    ) -> Vector:
+        if isinstance(constraint.right, Term):
+            return self._term_vector(constraint.right, frames)
+        return self._encoder.blaster.constant(int(constraint.right), len(left_vector))
+
+    def _difference_literal(self, left: Vector, right: Vector) -> int:
+        return negate(self._encoder.blaster.equal_vectors(left, right))
+
+    def _equality_literal(self, left: Vector, right: Vector) -> int:
+        return self._encoder.blaster.equal_vectors(left, right)
+
+    # ------------------------------------------------------------------ #
+    # SAT interaction
+    # ------------------------------------------------------------------ #
+
+    def _solve(
+        self,
+        clause_assumptions: List[int],
+        pending: List[Tuple[Equality, Vector, Vector, int]],
+        result: PropertyCheckResult,
+    ) -> Tuple[bool, Dict[int, int]]:
+        aig = self._encoder.aig
+        builder = CnfBuilder(aig)
+        solver = SatSolver()
+
+        if any(literal == FALSE for literal in clause_assumptions):
+            # An assumption is structurally false: the property holds vacuously.
+            return True, {}
+
+        miter = aig.or_many([entry[3] for entry in pending])
+        if miter == FALSE:
+            return True, {}
+
+        goal_literal = builder.literal_of(miter)
+        assumption_literals = [builder.literal_of(literal) for literal in clause_assumptions]
+        for clause in builder.cnf.clauses:
+            solver.add_clause(clause)
+        solver.ensure_vars(builder.cnf.num_vars)
+        for literal in assumption_literals:
+            solver.add_clause([literal])
+        solver.add_clause([goal_literal])
+
+        result.cnf_vars = builder.cnf.num_vars
+        result.cnf_clauses = builder.cnf.num_clauses if hasattr(builder.cnf, "num_clauses") else len(builder.cnf.clauses)
+
+        sat_result = solver.solve()
+        result.sat_conflicts = sat_result.conflicts
+        result.sat_decisions = sat_result.decisions
+        if not sat_result.satisfiable:
+            return True, {}
+
+        # Map the CNF model back to AIG input-node values.
+        input_values: Dict[int, int] = {}
+        for node in aig.inputs():
+            literal = node << 1
+            try:
+                cnf_literal = builder.literal_of(literal)
+            except KeyError:  # pragma: no cover - all cone inputs are encoded
+                continue
+            variable = abs(cnf_literal)
+            if variable > solver.num_vars:
+                continue
+            value = sat_result.value(variable)
+            input_values[node] = int(value if cnf_literal > 0 else not value)
+        return False, input_values
+
+    # ------------------------------------------------------------------ #
+    # Counterexample reconstruction
+    # ------------------------------------------------------------------ #
+
+    def _vector_value(self, vector: Vector, input_values: Dict[int, int]) -> int:
+        bits = self._encoder.aig.evaluate(vector, input_values)
+        return from_bits(bits)
+
+    def _build_counterexample(
+        self,
+        prop: IntervalProperty,
+        frames: Dict[int, List[SymbolicFrame]],
+        obligations: List[Tuple[Equality, Vector, Vector, int]],
+        input_values: Dict[int, int],
+        window: int,
+    ) -> CounterExample:
+        cex = CounterExample(property_name=prop.name)
+        for commitment, left_vector, right_vector, difference in obligations:
+            if difference == FALSE:
+                continue
+            left_value = self._vector_value(left_vector, input_values)
+            right_value = self._vector_value(right_vector, input_values)
+            if left_value != right_value:
+                cex.failing_signals.append(
+                    (commitment.left.signal, commitment.left.time, left_value, right_value)
+                )
+        # Record the starting-state and input valuation of both instances for
+        # every leaf that participated in the check.
+        for instance, instance_frames in frames.items():
+            for time_index, frame in enumerate(instance_frames[: window + 1]):
+                for signal, vector in frame.leaves.items():
+                    cex.values[(instance, time_index, signal)] = self._vector_value(vector, input_values)
+        # Also record the values that appear explicitly in the property.
+        for constraint in list(prop.assumptions) + list(prop.commitments):
+            terms = [constraint.left]
+            if isinstance(constraint.right, Term):
+                terms.append(constraint.right)
+            for term in terms:
+                key = (term.instance, term.time, term.signal)
+                if key not in cex.values:
+                    vector = self._term_vector(term, frames)
+                    cex.values[key] = self._vector_value(vector, input_values)
+        return cex

@@ -1,0 +1,26 @@
+"""Word-level RTL intermediate representation and structural analyses.
+
+The IR produced by :func:`repro.rtl.elaborate.elaborate` is a *flat* module:
+hierarchy is dissolved, every signal has an explicit width, combinational
+logic is a mapping ``signal -> expression`` and every register carries a
+single next-state expression.  All downstream engines (simulator, bit-blaster,
+IPC, fanout analysis) operate on this representation.
+"""
+
+from repro.rtl import exprs
+from repro.rtl.ir import Module, Register
+from repro.rtl.elaborate import elaborate, elaborate_source
+from repro.rtl.netlist import DependencyGraph
+from repro.rtl.fanout import FanoutAnalysis, get_fanout, compute_fanout_classes
+
+__all__ = [
+    "exprs",
+    "Module",
+    "Register",
+    "elaborate",
+    "elaborate_source",
+    "DependencyGraph",
+    "FanoutAnalysis",
+    "get_fanout",
+    "compute_fanout_classes",
+]

@@ -1,0 +1,5 @@
+"""Conflict-driven clause learning (CDCL) SAT solver."""
+
+from repro.sat.solver import SatSolver, SatResult
+
+__all__ = ["SatSolver", "SatResult"]

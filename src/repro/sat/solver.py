@@ -1,0 +1,398 @@
+"""A CDCL SAT solver in pure Python.
+
+The solver implements the standard modern architecture: two-watched-literal
+propagation, first-UIP conflict analysis with clause learning, VSIDS-style
+activity-based branching with phase saving, and Luby restarts.  Literals use
+the DIMACS convention (non-zero signed integers, variable indices start at 1).
+
+The property checker only hands the solver comparatively small formulas —
+structural hashing discharges identical logic cones before CNF generation —
+so a clean Python implementation is entirely sufficient for the workloads of
+the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SolverError
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solver call."""
+
+    satisfiable: bool
+    model: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def value(self, variable: int) -> bool:
+        return self.model.get(variable, False)
+
+
+def _luby(index: int) -> int:
+    """Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...)."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= index:
+        k += 1
+    while (1 << k) - 1 != index + 1:
+        index = index - (1 << (k - 1)) + 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= index:
+            k += 1
+    return 1 << (k - 1)
+
+
+class SatSolver:
+    """CDCL solver with incremental clause addition and assumption support."""
+
+    _UNASSIGNED = -1
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._watches: Dict[int, List[int]] = {}
+        self._assigns: List[int] = [self._UNASSIGNED]  # index 0 unused
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[int]] = [None]
+        self._phases: List[bool] = [False]
+        self._activity: List[float] = [0.0]
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+        self._trail: List[int] = []
+        self._trail_limits: List[int] = []
+        self._propagation_head = 0
+        self._conflicts = 0
+        self._decisions = 0
+        self._propagations = 0
+        self._unsat = False
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+
+    def new_var(self) -> int:
+        self._num_vars += 1
+        self._assigns.append(self._UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._phases.append(False)
+        self._activity.append(0.0)
+        return self._num_vars
+
+    def ensure_vars(self, count: int) -> None:
+        while self._num_vars < count:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = sorted(set(literals), key=abs)
+        if not clause:
+            self._unsat = True
+            return
+        for literal in clause:
+            if literal == 0:
+                raise SolverError("literal 0 is not allowed")
+            self.ensure_vars(abs(literal))
+        # Tautology check.
+        for first, second in zip(clause, clause[1:]):
+            if first == -second:
+                return
+        if len(clause) == 1:
+            literal = clause[0]
+            value = self._literal_value(literal)
+            if value == 0:
+                self._unsat = True
+            elif value == self._UNASSIGNED:
+                if self._decision_level() != 0:
+                    raise SolverError("unit clauses must be added at decision level 0")
+                self._enqueue(literal, reason=None)
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+
+    def _watch(self, literal: int, clause_index: int) -> None:
+        self._watches.setdefault(-literal, []).append(clause_index)
+
+    # ------------------------------------------------------------------ #
+    # Assignment helpers
+    # ------------------------------------------------------------------ #
+
+    def _decision_level(self) -> int:
+        return len(self._trail_limits)
+
+    def _literal_value(self, literal: int) -> int:
+        assigned = self._assigns[abs(literal)]
+        if assigned == self._UNASSIGNED:
+            return self._UNASSIGNED
+        value = assigned
+        return value if literal > 0 else 1 - value
+
+    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+        value = self._literal_value(literal)
+        if value != self._UNASSIGNED:
+            return value == 1
+        variable = abs(literal)
+        self._assigns[variable] = 1 if literal > 0 else 0
+        self._levels[variable] = self._decision_level()
+        self._reasons[variable] = reason
+        self._phases[variable] = literal > 0
+        self._trail.append(literal)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Boolean constraint propagation
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self) -> Optional[int]:
+        """Propagate pending assignments; return a conflicting clause index or None."""
+        while self._propagation_head < len(self._trail):
+            literal = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            self._propagations += 1
+            watch_list = self._watches.get(literal)
+            if not watch_list:
+                continue
+            new_watch_list: List[int] = []
+            conflict: Optional[int] = None
+            for position, clause_index in enumerate(watch_list):
+                clause = self._clauses[clause_index]
+                false_literal = -literal
+                # Ensure the false literal is at position 1.
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._literal_value(first) == 1:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                replaced = False
+                for k in range(2, len(clause)):
+                    if self._literal_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_index)
+                        replaced = True
+                        break
+                if replaced:
+                    continue
+                new_watch_list.append(clause_index)
+                if not self._enqueue(first, reason=clause_index):
+                    conflict = clause_index
+                    new_watch_list.extend(watch_list[position + 1 :])
+                    break
+            self._watches[literal] = new_watch_list
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis
+    # ------------------------------------------------------------------ #
+
+    def _bump_activity(self, variable: int) -> None:
+        self._activity[variable] += self._activity_increment
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+
+    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._num_vars + 1)
+        counter = 0
+        literal = 0
+        index = len(self._trail) - 1
+        clause_index: Optional[int] = conflict_index
+        current_level = self._decision_level()
+
+        while True:
+            if clause_index is None:
+                raise SolverError("conflict analysis reached a decision without reason")
+            clause = self._clauses[clause_index]
+            start = 1 if literal != 0 else 0
+            for clause_literal in clause[start:] if literal != 0 else clause:
+                variable = abs(clause_literal)
+                if clause_literal == literal:
+                    continue
+                if not seen[variable] and self._levels[variable] > 0:
+                    seen[variable] = True
+                    self._bump_activity(variable)
+                    if self._levels[variable] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(clause_literal)
+            # Find the next literal to resolve on.
+            while True:
+                literal = self._trail[index]
+                index -= 1
+                if seen[abs(literal)]:
+                    break
+            counter -= 1
+            seen[abs(literal)] = False
+            if counter == 0:
+                break
+            clause_index = self._reasons[abs(literal)]
+        learned[0] = -literal
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backtrack level: second highest level in the learned clause.
+        backtrack_level = 0
+        swap_index = 1
+        for position in range(1, len(learned)):
+            level = self._levels[abs(learned[position])]
+            if level > backtrack_level:
+                backtrack_level = level
+                swap_index = position
+        learned[1], learned[swap_index] = learned[swap_index], learned[1]
+        return learned, backtrack_level
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        limit = self._trail_limits[level]
+        for literal in reversed(self._trail[limit:]):
+            variable = abs(literal)
+            self._assigns[variable] = self._UNASSIGNED
+            self._reasons[variable] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagation_head = len(self._trail)
+
+    def _learn(self, clause: List[int]) -> None:
+        if len(clause) == 1:
+            self._enqueue(clause[0], reason=None)
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watch(clause[0], index)
+        self._watch(clause[1], index)
+        self._enqueue(clause[0], reason=index)
+
+    # ------------------------------------------------------------------ #
+    # Branching
+    # ------------------------------------------------------------------ #
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_variable = None
+        best_activity = -1.0
+        for variable in range(1, self._num_vars + 1):
+            if self._assigns[variable] == self._UNASSIGNED and self._activity[variable] > best_activity:
+                best_activity = self._activity[variable]
+                best_variable = variable
+        return best_variable
+
+    # ------------------------------------------------------------------ #
+    # Main solve loop
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        assumptions: Optional[Iterable[int]] = None,
+        conflict_limit: Optional[int] = None,
+    ) -> SatResult:
+        """Solve the current formula under optional assumptions."""
+        assumptions = list(assumptions or [])
+        if self._unsat:
+            return SatResult(satisfiable=False, conflicts=self._conflicts)
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._unsat = True
+            return SatResult(satisfiable=False, conflicts=self._conflicts)
+
+        restart_index = 0
+        restart_budget = 64 * _luby(restart_index)
+        conflicts_at_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self._conflicts += 1
+                conflicts_at_restart += 1
+                if conflict_limit is not None and self._conflicts >= conflict_limit:
+                    raise SolverError("conflict limit exceeded")
+                if self._decision_level() <= len(assumptions):
+                    # Conflict under assumptions only: UNSAT under assumptions.
+                    self._backtrack(0)
+                    return self._result(False)
+                learned, backtrack_level = self._analyze(conflict)
+                self._backtrack(max(backtrack_level, len(assumptions)))
+                if backtrack_level < len(assumptions):
+                    # The learned clause forces a flip below the assumption levels.
+                    self._backtrack(0)
+                    if len(learned) == 1:
+                        self.add_clause(learned)
+                        if self._unsat:
+                            return self._result(False)
+                        continue
+                    index = len(self._clauses)
+                    self._clauses.append(learned)
+                    self._watch(learned[0], index)
+                    self._watch(learned[1], index)
+                    continue
+                self._learn(learned)
+                self._decay_activities()
+                continue
+
+            if conflicts_at_restart >= restart_budget:
+                restart_index += 1
+                restart_budget = 64 * _luby(restart_index)
+                conflicts_at_restart = 0
+                self._backtrack(len(assumptions))
+
+            # Apply pending assumptions as pseudo-decisions.
+            level = self._decision_level()
+            if level < len(assumptions):
+                literal = assumptions[level]
+                value = self._literal_value(literal)
+                if value == 0:
+                    self._backtrack(0)
+                    return self._result(False)
+                self._trail_limits.append(len(self._trail))
+                if value == self._UNASSIGNED:
+                    self._enqueue(literal, reason=None)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                result = self._result(True)
+                self._backtrack(0)
+                return result
+            self._decisions += 1
+            self._trail_limits.append(len(self._trail))
+            literal = variable if self._phases[variable] else -variable
+            self._enqueue(literal, reason=None)
+
+    def _result(self, satisfiable: bool) -> SatResult:
+        model: Dict[int, bool] = {}
+        if satisfiable:
+            for variable in range(1, self._num_vars + 1):
+                value = self._assigns[variable]
+                model[variable] = (value == 1) if value != self._UNASSIGNED else self._phases[variable]
+        return SatResult(
+            satisfiable=satisfiable,
+            model=model,
+            conflicts=self._conflicts,
+            decisions=self._decisions,
+            propagations=self._propagations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)

@@ -1,0 +1,39 @@
+"""Simulation traces: per-cycle snapshots of signal values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class Trace:
+    """A sequence of per-cycle signal valuations.
+
+    ``snapshots[k][name]`` is the value of ``name`` during cycle ``k`` (after
+    combinational settling, before the clock edge that ends the cycle).
+    """
+
+    snapshots: List[Dict[str, int]] = field(default_factory=list)
+
+    def record(self, values: Dict[str, int]) -> None:
+        self.snapshots.append(dict(values))
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def value(self, name: str, cycle: int) -> int:
+        return self.snapshots[cycle][name]
+
+    def series(self, name: str) -> List[int]:
+        return [snapshot[name] for snapshot in self.snapshots]
+
+    def last(self, name: str) -> int:
+        return self.snapshots[-1][name]
+
+    def restrict(self, names: Iterable[str]) -> "Trace":
+        names = set(names)
+        restricted = Trace()
+        for snapshot in self.snapshots:
+            restricted.record({name: value for name, value in snapshot.items() if name in names})
+        return restricted

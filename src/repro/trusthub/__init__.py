@@ -1,0 +1,28 @@
+"""Trust-Hub-style benchmark accelerators and hardware Trojans.
+
+The original Trust-Hub archives cannot be redistributed or downloaded in this
+offline environment, so this package *regenerates* equivalent designs in the
+supported Verilog subset:
+
+* a fully pipelined AES-128 encryption core (two register stages per round,
+  matching the structure of the core used by the AES-T* benchmarks),
+* a pipelined BasicRSA modular-exponentiation core,
+* an RS232 UART transceiver,
+* one Trojan variant per row of the paper's Table I, each combining the
+  trigger class (plaintext sequence, #encryptions, #clock cycles, #values)
+  and payload class (PSC, RF, LC, DoS, bit flip, OUT) the table reports.
+
+Every design is returned both as Verilog source text and as an elaborated
+:class:`repro.rtl.ir.Module`, keyed by its Trust-Hub name through
+:func:`repro.trusthub.registry.load_design`.
+"""
+
+from repro.trusthub.registry import (
+    TrustHubDesign,
+    catalog,
+    design_names,
+    load_design,
+    load_module,
+)
+
+__all__ = ["TrustHubDesign", "catalog", "design_names", "load_design", "load_module"]

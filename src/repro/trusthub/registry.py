@@ -1,0 +1,191 @@
+"""Catalogue of all regenerated Trust-Hub-style benchmark designs.
+
+``catalog()`` returns one :class:`TrustHubDesign` per benchmark: every Trojan
+of the paper's Table I, the Trojan-free variants of each accelerator family,
+and the RS232-T2400 case study.  Designs carry everything a benchmark harness
+needs: the Verilog source, the top module name, the data inputs the detection
+flow should trace, the waivers an engineer would apply after diagnosing the
+known-legitimate history dependencies, and the detection outcome the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DesignError
+from repro.rtl.elaborate import elaborate_source
+from repro.rtl.ir import Module
+from repro.trusthub import aes_trojans, rsa_trojans, uart_trojans
+from repro.trusthub.aes_core import aes_core_verilog
+from repro.trusthub.rsa_core import RSA_RECOMMENDED_WAIVERS, rsa_core_verilog
+from repro.trusthub.uart_core import UART_RECOMMENDED_WAIVERS, uart_core_verilog
+
+
+@dataclass(frozen=True)
+class TrustHubDesign:
+    """Metadata and source of one benchmark design."""
+
+    name: str
+    family: str  # "AES", "BasicRSA", "RS232"
+    top: str
+    source: str = field(repr=False, default="")
+    payload: str = ""
+    trigger: str = ""
+    expected_detection: str = ""
+    has_trojan: bool = True
+    data_inputs: Tuple[str, ...] = ()
+    recommended_waivers: Tuple[str, ...] = ()
+    description: str = ""
+
+    def elaborate(self) -> Module:
+        """Elaborate the design's top module into the flat RTL IR."""
+        return elaborate_source(self.source, self.top)
+
+
+_MODULE_CACHE: Dict[str, Module] = {}
+_CATALOG_CACHE: Optional[Dict[str, TrustHubDesign]] = None
+
+
+def _aes_designs() -> List[TrustHubDesign]:
+    designs = [
+        TrustHubDesign(
+            name="AES-HT-FREE",
+            family="AES",
+            top="aes128",
+            source=aes_core_verilog("aes128"),
+            payload="-",
+            trigger="-",
+            expected_detection="secure",
+            has_trojan=False,
+            data_inputs=("state", "key"),
+            description="Trojan-free pipelined AES-128 core",
+        )
+    ]
+    for spec in aes_trojans.AES_TROJAN_SPECS.values():
+        designs.append(
+            TrustHubDesign(
+                name=spec.name,
+                family="AES",
+                top=aes_trojans.top_module_name(spec),
+                source=aes_trojans.benchmark_verilog(spec),
+                payload=spec.payload_label,
+                trigger=spec.trigger_label,
+                expected_detection=spec.expected_detection,
+                has_trojan=True,
+                data_inputs=("state", "key"),
+                description=spec.description,
+            )
+        )
+    return designs
+
+
+def _rsa_designs() -> List[TrustHubDesign]:
+    rsa_inputs = ("ds", "indata", "inExp", "inMod")
+    designs = [
+        TrustHubDesign(
+            name="BasicRSA-HT-FREE",
+            family="BasicRSA",
+            top="basicrsa",
+            source=rsa_core_verilog("basicrsa"),
+            payload="-",
+            trigger="-",
+            expected_detection="secure",
+            has_trojan=False,
+            data_inputs=rsa_inputs,
+            recommended_waivers=tuple(RSA_RECOMMENDED_WAIVERS),
+            description="Trojan-free pipelined BasicRSA core (HTs manually removed, cf. Sec. VI)",
+        )
+    ]
+    for spec in rsa_trojans.RSA_TROJAN_SPECS.values():
+        designs.append(
+            TrustHubDesign(
+                name=spec.name,
+                family="BasicRSA",
+                top=rsa_trojans.top_module_name(spec),
+                source=rsa_trojans.benchmark_verilog(spec),
+                payload=spec.payload_label,
+                trigger=spec.trigger_label,
+                expected_detection=spec.expected_detection,
+                has_trojan=True,
+                data_inputs=rsa_inputs,
+                recommended_waivers=tuple(f"u_core.{name}" for name in RSA_RECOMMENDED_WAIVERS),
+                description=spec.description,
+            )
+        )
+    return designs
+
+
+def _uart_designs() -> List[TrustHubDesign]:
+    uart_inputs = ("tx_data", "tx_send", "rxd")
+    designs = [
+        TrustHubDesign(
+            name="RS232-HT-FREE",
+            family="RS232",
+            top="rs232",
+            source=uart_core_verilog("rs232"),
+            payload="-",
+            trigger="-",
+            expected_detection="secure",
+            has_trojan=False,
+            data_inputs=uart_inputs,
+            recommended_waivers=tuple(UART_RECOMMENDED_WAIVERS),
+            description="Trojan-free RS232 transceiver",
+        )
+    ]
+    for spec in uart_trojans.UART_TROJAN_SPECS.values():
+        designs.append(
+            TrustHubDesign(
+                name=spec.name,
+                family="RS232",
+                top=uart_trojans.top_module_name(spec),
+                source=uart_trojans.benchmark_verilog(spec),
+                payload=spec.payload_label,
+                trigger=spec.trigger_label,
+                expected_detection=spec.expected_detection,
+                has_trojan=True,
+                data_inputs=uart_inputs,
+                recommended_waivers=tuple(f"u_core.{name}" for name in UART_RECOMMENDED_WAIVERS),
+                description=spec.description,
+            )
+        )
+    return designs
+
+
+def catalog() -> Dict[str, TrustHubDesign]:
+    """All benchmark designs keyed by their Trust-Hub-style name."""
+    global _CATALOG_CACHE
+    if _CATALOG_CACHE is None:
+        designs = _aes_designs() + _rsa_designs() + _uart_designs()
+        _CATALOG_CACHE = {design.name: design for design in designs}
+    return dict(_CATALOG_CACHE)
+
+
+def design_names(family: Optional[str] = None, with_trojan: Optional[bool] = None) -> List[str]:
+    """Names of catalogued designs, optionally filtered by family / Trojan presence."""
+    names = []
+    for name, design in catalog().items():
+        if family is not None and design.family != family:
+            continue
+        if with_trojan is not None and design.has_trojan != with_trojan:
+            continue
+        names.append(name)
+    return sorted(names)
+
+
+def load_design(name: str) -> TrustHubDesign:
+    """Look up one benchmark by name (raises :class:`DesignError` if unknown)."""
+    designs = catalog()
+    if name not in designs:
+        raise DesignError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(designs))}"
+        )
+    return designs[name]
+
+
+def load_module(name: str) -> Module:
+    """Elaborated flat module of one benchmark (cached across calls)."""
+    if name not in _MODULE_CACHE:
+        _MODULE_CACHE[name] = load_design(name).elaborate()
+    return _MODULE_CACHE[name]

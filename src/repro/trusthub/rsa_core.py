@@ -1,0 +1,179 @@
+"""Generator for the BasicRSA modular-exponentiation accelerator.
+
+The Trust-Hub *BasicRSA* benchmark is a textbook RSA core built around an
+iterative modular multiplier.  This regeneration keeps the same interface
+(``indata``/``inExp``/``inMod``/``ds`` in, ``cypher``/``ready`` out) and the
+same algorithm (square-and-multiply over Blakley modular multiplication) but
+implements it as a fully *pipelined* data path — one exponent bit per stage —
+so the accelerator is non-interfering in the sense of the paper: the result
+only depends on the operands presented with the corresponding ``ds`` strobe.
+
+Operand widths are scaled to 16-bit data / 8-bit exponents so the pure-Python
+property checker stays fast; the structure (modular multiplier, exponent
+pipeline, handshake control) is unchanged.
+
+The two sticky handshake flags (``started``/``done_seen``) intentionally keep
+their value across computations: they reproduce the two legitimate
+history-dependencies for which the paper reports spurious counterexamples on
+the RSA designs (Sec. VI), to be disposed of with waivers.
+"""
+
+from __future__ import annotations
+
+#: data / modulus width of the scaled-down core
+RSA_DATA_WIDTH = 16
+#: exponent width (one pipeline stage per exponent bit)
+RSA_EXP_WIDTH = 8
+#: cycles from presenting operands to the result appearing on ``cypher``
+RSA_LATENCY = RSA_EXP_WIDTH + 3
+
+
+def modmul_verilog(width: int = RSA_DATA_WIDTH) -> str:
+    """Combinational Blakley modular multiplier ``p = (a * b) mod m``."""
+    extended = width + 2
+    lines = [
+        "module rsa_modmul(",
+        f"  input  [{width - 1}:0] a,",
+        f"  input  [{width - 1}:0] b,",
+        f"  input  [{width - 1}:0] m,",
+        f"  output [{width - 1}:0] p",
+        ");",
+        f"  wire [{extended - 1}:0] mx = {{2'b00, m}};",
+        f"  wire [{extended - 1}:0] ax = {{2'b00, a}};",
+        f"  wire [{extended - 1}:0] r_init = {extended}'h0;",
+    ]
+    previous = "r_init"
+    for step, bit in enumerate(range(width - 1, -1, -1)):
+        doubled = f"dbl_{step}"
+        added = f"add_{step}"
+        reduced1 = f"red1_{step}"
+        reduced2 = f"red2_{step}"
+        lines.append(f"  wire [{extended - 1}:0] {doubled} = {{{previous}[{extended - 2}:0], 1'b0}};")
+        lines.append(f"  wire [{extended - 1}:0] {added} = {doubled} + (b[{bit}] ? ax : {extended}'h0);")
+        lines.append(f"  wire [{extended - 1}:0] {reduced1} = ({added} >= mx) ? ({added} - mx) : {added};")
+        lines.append(f"  wire [{extended - 1}:0] {reduced2} = ({reduced1} >= mx) ? ({reduced1} - mx) : {reduced1};")
+        previous = reduced2
+    lines.append(f"  assign p = {previous}[{width - 1}:0];")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def stage_verilog(width: int = RSA_DATA_WIDTH, exp_width: int = RSA_EXP_WIDTH) -> str:
+    """One square-and-multiply pipeline stage (consumes one exponent bit)."""
+    lines = [
+        "module rsa_stage(",
+        "  input clk,",
+        f"  input  [{width - 1}:0] result_in,",
+        f"  input  [{width - 1}:0] base_in,",
+        f"  input  [{width - 1}:0] mod_in,",
+        f"  input  [{exp_width - 1}:0] exp_in,",
+        "  input  valid_in,",
+        f"  output [{width - 1}:0] result_out,",
+        f"  output [{width - 1}:0] base_out,",
+        f"  output [{width - 1}:0] mod_out,",
+        f"  output [{exp_width - 1}:0] exp_out,",
+        "  output valid_out",
+        ");",
+        f"  wire [{width - 1}:0] mult_result;",
+        f"  wire [{width - 1}:0] square_result;",
+        "  rsa_modmul u_mult   (.a(result_in), .b(base_in), .m(mod_in), .p(mult_result));",
+        "  rsa_modmul u_square (.a(base_in),   .b(base_in), .m(mod_in), .p(square_result));",
+        f"  reg [{width - 1}:0] result_q;",
+        f"  reg [{width - 1}:0] base_q;",
+        f"  reg [{width - 1}:0] mod_q;",
+        f"  reg [{exp_width - 1}:0] exp_q;",
+        "  reg valid_q;",
+        "  always @(posedge clk) begin",
+        "    result_q <= exp_in[0] ? mult_result : result_in;",
+        "    base_q   <= square_result;",
+        "    mod_q    <= mod_in;",
+        f"    exp_q    <= {{1'b0, exp_in[{exp_width - 1}:1]}};",
+        "    valid_q  <= valid_in;",
+        "  end",
+        "  assign result_out = result_q;",
+        "  assign base_out   = base_q;",
+        "  assign mod_out    = mod_q;",
+        "  assign exp_out    = exp_q;",
+        "  assign valid_out  = valid_q;",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def rsa_top_verilog(module_name: str = "basicrsa",
+                    width: int = RSA_DATA_WIDTH,
+                    exp_width: int = RSA_EXP_WIDTH) -> str:
+    """The pipelined BasicRSA top level."""
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input ds,",
+        f"  input  [{width - 1}:0] indata,",
+        f"  input  [{exp_width - 1}:0] inExp,",
+        f"  input  [{width - 1}:0] inMod,",
+        f"  output [{width - 1}:0] cypher,",
+        "  output ready",
+        ");",
+        f"  reg [{width - 1}:0] base_0;",
+        f"  reg [{width - 1}:0] mod_0;",
+        f"  reg [{exp_width - 1}:0] exp_0;",
+        "  reg valid_0;",
+        "  // The running product starts at 1 (it is a constant, not state).",
+        f"  wire [{width - 1}:0] result_0 = {width}'h1;",
+        "  always @(posedge clk) begin",
+        "    base_0   <= indata;",
+        "    mod_0    <= inMod;",
+        "    exp_0    <= inExp;",
+        "    valid_0  <= ds;",
+        "  end",
+        "  // Sticky handshake flags: legitimate history dependencies that the",
+        "  // detection flow reports as spurious counterexamples (cf. Sec. VI).",
+        "  reg started;",
+        "  reg done_seen;",
+    ]
+    for stage in range(1, exp_width + 1):
+        lines.append(f"  wire [{width - 1}:0] result_{stage};")
+        lines.append(f"  wire [{width - 1}:0] base_{stage};")
+        lines.append(f"  wire [{width - 1}:0] mod_{stage};")
+        lines.append(f"  wire [{exp_width - 1}:0] exp_{stage};")
+        lines.append(f"  wire valid_{stage};")
+    for stage in range(1, exp_width + 1):
+        previous = stage - 1
+        lines.append(
+            f"  rsa_stage u_stage_{stage} (.clk(clk), "
+            f".result_in(result_{previous}), .base_in(base_{previous}), .mod_in(mod_{previous}), "
+            f".exp_in(exp_{previous}), .valid_in(valid_{previous}), "
+            f".result_out(result_{stage}), .base_out(base_{stage}), .mod_out(mod_{stage}), "
+            f".exp_out(exp_{stage}), .valid_out(valid_{stage}));"
+        )
+    lines.extend(
+        [
+            f"  reg [{width - 1}:0] cypher_q;",
+            "  reg ready_q;",
+            "  always @(posedge clk) begin",
+            f"    cypher_q <= result_{exp_width};",
+            f"    ready_q  <= valid_{exp_width};",
+            "    started  <= started | ds;",
+            f"    done_seen <= done_seen | valid_{exp_width};",
+            "  end",
+            "  assign cypher = cypher_q;",
+            "  assign ready = ready_q & started & (done_seen | valid_" + str(exp_width) + ");",
+            "endmodule",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def rsa_library_verilog() -> str:
+    """Support modules of the RSA core (multiplier and pipeline stage)."""
+    return modmul_verilog() + "\n\n" + stage_verilog()
+
+
+def rsa_core_verilog(module_name: str = "basicrsa") -> str:
+    """Complete Verilog source of the Trojan-free BasicRSA core."""
+    return rsa_library_verilog() + "\n\n" + rsa_top_verilog(module_name)
+
+
+#: waivers a verification engineer adds after inspecting the two spurious
+#: counterexamples caused by the sticky handshake flags (cf. Sec. V-B / VI).
+RSA_RECOMMENDED_WAIVERS = ("started", "done_seen")

@@ -1,0 +1,175 @@
+"""Trojan-infested variants of the BasicRSA core (BasicRSA-T200/T300/T400)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import DesignError
+from repro.trusthub.rsa_core import (
+    RSA_DATA_WIDTH,
+    RSA_EXP_WIDTH,
+    rsa_library_verilog,
+    rsa_top_verilog,
+)
+
+
+@dataclass(frozen=True)
+class RsaTrojanSpec:
+    """One BasicRSA Trust-Hub benchmark."""
+
+    name: str
+    payload_label: str
+    trigger_label: str
+    expected_detection: str
+    trigger_kind: str  # "sequence" or "encryptions"
+    sequence: Tuple[int, ...] = ()
+    threshold: int = 0
+    payload_kind: str = "dos"  # "dos" or "leak_exp" or "leak_mod"
+    description: str = ""
+
+
+def _sequence_trigger(spec: RsaTrojanSpec) -> Tuple[list, str]:
+    states = len(spec.sequence)
+    if states < 2:
+        raise DesignError("plaintext-sequence trigger needs at least two values")
+    state_width = max(1, states.bit_length())
+    lines = [f"  reg [{state_width - 1}:0] tj_seq_state;"]
+    for index, value in enumerate(spec.sequence):
+        lines.append(f"  wire tj_match{index} = (indata == {RSA_DATA_WIDTH}'h{value:04x}) & ds;")
+    lines.append("  always @(posedge clk) begin")
+    lines.append("    case (tj_seq_state)")
+    for index in range(states):
+        lines.append(
+            f"      {state_width}'d{index}: if (tj_match{index}) "
+            f"tj_seq_state <= {state_width}'d{index + 1};"
+        )
+    lines.append("      default: tj_seq_state <= tj_seq_state;")
+    lines.append("    endcase")
+    lines.append("  end")
+    lines.append(f"  wire tj_trigger = (tj_seq_state == {state_width}'d{states});")
+    return lines, "tj_trigger"
+
+
+def _encryption_counter_trigger(spec: RsaTrojanSpec) -> Tuple[list, str]:
+    width = max(4, spec.threshold.bit_length() + 1)
+    lines = [
+        f"  reg [{width - 1}:0] tj_enc_count;",
+        "  always @(posedge clk) begin",
+        "    if (ds)",
+        f"      tj_enc_count <= tj_enc_count + {width}'d1;",
+        "  end",
+        f"  wire tj_trigger = (tj_enc_count == {width}'d{spec.threshold});",
+    ]
+    return lines, "tj_trigger"
+
+
+def _payload(spec: RsaTrojanSpec, trigger_wire: str) -> list:
+    if spec.payload_kind == "dos":
+        # Denial of service: force the published result to zero once triggered.
+        return [f"  assign cypher = {trigger_wire} ? {RSA_DATA_WIDTH}'h0 : core_cypher;",
+                "  assign ready = core_ready;"]
+    if spec.payload_kind == "leak_exp":
+        # Leak the secret exponent on the cypher output pins.
+        return [
+            f"  reg [{RSA_EXP_WIDTH - 1}:0] tj_exp_shadow;",
+            "  always @(posedge clk) begin",
+            "    if (ds)",
+            "      tj_exp_shadow <= inExp;",
+            "  end",
+            f"  assign cypher = {trigger_wire} ? "
+            f"{{{RSA_DATA_WIDTH - RSA_EXP_WIDTH}'h0, tj_exp_shadow}} : core_cypher;",
+            "  assign ready = core_ready;",
+        ]
+    if spec.payload_kind == "leak_mod":
+        # Leak the modulus (factorisation hint) interleaved with the exponent.
+        return [
+            f"  reg [{RSA_DATA_WIDTH - 1}:0] tj_mod_shadow;",
+            "  always @(posedge clk) begin",
+            "    if (ds)",
+            "      tj_mod_shadow <= inMod ^ {8'h00, inExp};",
+            "  end",
+            f"  assign cypher = {trigger_wire} ? tj_mod_shadow : core_cypher;",
+            "  assign ready = core_ready;",
+        ]
+    raise DesignError(f"unknown RSA payload kind {spec.payload_kind!r}")
+
+
+def trojan_top_verilog(spec: RsaTrojanSpec) -> str:
+    """Verilog of the Trojan-infested BasicRSA top level."""
+    if spec.trigger_kind == "sequence":
+        trigger_lines, trigger_wire = _sequence_trigger(spec)
+    elif spec.trigger_kind == "encryptions":
+        trigger_lines, trigger_wire = _encryption_counter_trigger(spec)
+    else:
+        raise DesignError(f"unknown RSA trigger kind {spec.trigger_kind!r}")
+    module_name = top_module_name(spec)
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input ds,",
+        f"  input  [{RSA_DATA_WIDTH - 1}:0] indata,",
+        f"  input  [{RSA_EXP_WIDTH - 1}:0] inExp,",
+        f"  input  [{RSA_DATA_WIDTH - 1}:0] inMod,",
+        f"  output [{RSA_DATA_WIDTH - 1}:0] cypher,",
+        "  output ready",
+        ");",
+        f"  wire [{RSA_DATA_WIDTH - 1}:0] core_cypher;",
+        "  wire core_ready;",
+        "  basicrsa u_core (.clk(clk), .ds(ds), .indata(indata), .inExp(inExp), .inMod(inMod),"
+        " .cypher(core_cypher), .ready(core_ready));",
+        "  // ---- hardware trojan: trigger ----",
+    ]
+    lines.extend(trigger_lines)
+    lines.append("  // ---- hardware trojan: payload ----")
+    lines.extend(_payload(spec, trigger_wire))
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def benchmark_verilog(spec: RsaTrojanSpec) -> str:
+    """Complete source (multiplier + stages + clean core + Trojan wrapper)."""
+    return "\n\n".join(
+        [rsa_library_verilog(), rsa_top_verilog("basicrsa"), trojan_top_verilog(spec)]
+    )
+
+
+def top_module_name(spec: RsaTrojanSpec) -> str:
+    return spec.name.lower().replace("-", "_")
+
+
+RSA_TROJAN_SPECS: Dict[str, RsaTrojanSpec] = {
+    spec.name: spec
+    for spec in [
+        RsaTrojanSpec(
+            name="BasicRSA-T200",
+            payload_label="DoS",
+            trigger_label="plaintext seq.",
+            expected_detection="init property",
+            trigger_kind="sequence",
+            sequence=(0x1234, 0xBEEF, 0x0001),
+            payload_kind="dos",
+            description="message-sequence trigger, denial of service on the result",
+        ),
+        RsaTrojanSpec(
+            name="BasicRSA-T300",
+            payload_label="OUT",
+            trigger_label="# encryptions",
+            expected_detection="init property",
+            trigger_kind="encryptions",
+            threshold=50,
+            payload_kind="leak_exp",
+            description="after 50 encryptions the private exponent is leaked on the output",
+        ),
+        RsaTrojanSpec(
+            name="BasicRSA-T400",
+            payload_label="OUT",
+            trigger_label="# encryptions",
+            expected_detection="init property",
+            trigger_kind="encryptions",
+            threshold=200,
+            payload_kind="leak_mod",
+            description="after 200 encryptions modulus and exponent material is leaked",
+        ),
+    ]
+}

@@ -1,0 +1,173 @@
+"""Generator for the RS232 UART used by the paper's additional case study.
+
+The UART is *not* a non-interfering accelerator — its baud-rate divider, bit
+counter and shift registers all carry state across frames — which is exactly
+why the paper uses it to demonstrate that the method still works on IPs with
+more complex control behaviour at the cost of a few spurious counterexamples
+(three in the paper, resolved per Sec. V-B).
+
+The transmitter below uses a small divider (``BAUD_DIV``) so simulations stay
+short; the control structure (idle/start/data/stop, shift register, counters)
+matches a textbook RS232 transmitter and receiver.
+"""
+
+from __future__ import annotations
+
+#: clock cycles per bit used by the generated transceiver
+BAUD_DIV = 4
+
+
+def uart_tx_verilog(baud_div: int = BAUD_DIV) -> str:
+    """RS232 transmitter: 8N1 framing, ``BAUD_DIV`` clocks per bit."""
+    divider_width = max(2, (baud_div - 1).bit_length())
+    lines = [
+        "module uart_tx(",
+        "  input clk,",
+        "  input rst,",
+        "  input [7:0] data,",
+        "  input send,",
+        "  output txd,",
+        "  output busy",
+        ");",
+        f"  reg [{divider_width - 1}:0] baud_cnt;",
+        "  reg [3:0] bit_idx;",
+        "  reg [9:0] shift;",
+        "  reg active;",
+        "  always @(posedge clk) begin",
+        "    if (rst) begin",
+        "      baud_cnt <= 0;",
+        "      bit_idx  <= 0;",
+        "      shift    <= 10'h3ff;",
+        "      active   <= 1'b0;",
+        "    end else if (!active) begin",
+        "      if (send) begin",
+        "        shift    <= {1'b1, data, 1'b0};",
+        "        active   <= 1'b1;",
+        "        bit_idx  <= 0;",
+        "        baud_cnt <= 0;",
+        "      end",
+        "    end else begin",
+        f"      if (baud_cnt == {divider_width}'d{baud_div - 1}) begin",
+        "        baud_cnt <= 0;",
+        "        shift    <= {1'b1, shift[9:1]};",
+        "        if (bit_idx == 4'd9) begin",
+        "          active  <= 1'b0;",
+        "          bit_idx <= 0;",
+        "        end else begin",
+        "          bit_idx <= bit_idx + 4'd1;",
+        "        end",
+        "      end else begin",
+        f"        baud_cnt <= baud_cnt + {divider_width}'d1;",
+        "      end",
+        "    end",
+        "  end",
+        "  assign txd = shift[0];",
+        "  assign busy = active;",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def uart_rx_verilog(baud_div: int = BAUD_DIV) -> str:
+    """RS232 receiver: mid-bit sampling, 8N1 framing."""
+    divider_width = max(2, (baud_div - 1).bit_length())
+    lines = [
+        "module uart_rx(",
+        "  input clk,",
+        "  input rst,",
+        "  input rxd,",
+        "  output [7:0] data,",
+        "  output valid",
+        ");",
+        f"  reg [{divider_width - 1}:0] baud_cnt;",
+        "  reg [3:0] bit_idx;",
+        "  reg [7:0] shift;",
+        "  reg [7:0] data_q;",
+        "  reg valid_q;",
+        "  reg receiving;",
+        "  always @(posedge clk) begin",
+        "    if (rst) begin",
+        "      baud_cnt  <= 0;",
+        "      bit_idx   <= 0;",
+        "      shift     <= 0;",
+        "      data_q    <= 0;",
+        "      valid_q   <= 1'b0;",
+        "      receiving <= 1'b0;",
+        "    end else if (!receiving) begin",
+        "      valid_q <= 1'b0;",
+        "      if (!rxd) begin",
+        "        receiving <= 1'b1;",
+        f"        baud_cnt  <= {divider_width}'d{baud_div // 2};",
+        "        bit_idx   <= 0;",
+        "      end",
+        "    end else begin",
+        f"      if (baud_cnt == {divider_width}'d{baud_div - 1}) begin",
+        "        baud_cnt <= 0;",
+        "        if (bit_idx == 4'd9) begin",
+        "          receiving <= 1'b0;",
+        "          data_q    <= shift;",
+        "          valid_q   <= 1'b1;",
+        "        end else begin",
+        "          // bit_idx 0 samples the middle of the start bit (discarded),",
+        "          // bit_idx 1..8 sample the eight data bits.",
+        "          if (bit_idx != 4'd0)",
+        "            shift <= {rxd, shift[7:1]};",
+        "          bit_idx <= bit_idx + 4'd1;",
+        "        end",
+        "      end else begin",
+        f"        baud_cnt <= baud_cnt + {divider_width}'d1;",
+        "      end",
+        "    end",
+        "  end",
+        "  assign data = data_q;",
+        "  assign valid = valid_q;",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def uart_top_verilog(module_name: str = "rs232") -> str:
+    """Transceiver top level combining transmitter and receiver."""
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input rst,",
+        "  input [7:0] tx_data,",
+        "  input tx_send,",
+        "  output txd,",
+        "  output tx_busy,",
+        "  input rxd,",
+        "  output [7:0] rx_data,",
+        "  output rx_valid",
+        ");",
+        "  uart_tx u_tx (.clk(clk), .rst(rst), .data(tx_data), .send(tx_send),"
+        " .txd(txd), .busy(tx_busy));",
+        "  uart_rx u_rx (.clk(clk), .rst(rst), .rxd(rxd), .data(rx_data), .valid(rx_valid));",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def uart_library_verilog() -> str:
+    return uart_tx_verilog() + "\n\n" + uart_rx_verilog()
+
+
+def uart_core_verilog(module_name: str = "rs232") -> str:
+    """Complete Verilog source of the Trojan-free RS232 transceiver."""
+    return uart_library_verilog() + "\n\n" + uart_top_verilog(module_name)
+
+
+#: control registers a verification engineer disqualifies after inspecting the
+#: counterexamples of the Trojan-free UART (legitimate cross-frame state).
+UART_RECOMMENDED_WAIVERS = (
+    "u_tx.active",
+    "u_tx.baud_cnt",
+    "u_tx.bit_idx",
+    "u_tx.shift",
+    "u_rx.receiving",
+    "u_rx.baud_cnt",
+    "u_rx.bit_idx",
+    "u_rx.shift",
+    "u_rx.data_q",
+    "u_rx.valid_q",
+)

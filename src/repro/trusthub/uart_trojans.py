@@ -1,0 +1,90 @@
+"""The RS232-T2400-style UART Trojan used by the paper's additional case study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.trusthub.uart_core import uart_library_verilog, uart_top_verilog
+
+
+@dataclass(frozen=True)
+class UartTrojanSpec:
+    """The UART benchmark definition."""
+
+    name: str
+    payload_label: str
+    trigger_label: str
+    expected_detection: str
+    threshold: int
+    description: str = ""
+
+
+def trojan_top_verilog(spec: UartTrojanSpec) -> str:
+    """Trojan wrapper: counts received frames, then corrupts the received data.
+
+    The trigger is a counter of completed receptions (``rx_valid`` pulses of
+    the embedded receiver), i.e. it taps state deep inside the IP rather than
+    a primary input; the payload flips bit 5 of the received byte presented on
+    ``rx_data``.  This mirrors the Trust-Hub RS232-T2400 Trojan, which is
+    detected by a failed *fanout* property (not the init property) because the
+    corrupted signal sits several clock cycles away from the primary inputs.
+    """
+    module_name = top_module_name(spec)
+    width = max(4, spec.threshold.bit_length() + 1)
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input rst,",
+        "  input [7:0] tx_data,",
+        "  input tx_send,",
+        "  output txd,",
+        "  output tx_busy,",
+        "  input rxd,",
+        "  output [7:0] rx_data,",
+        "  output rx_valid",
+        ");",
+        "  wire [7:0] core_rx_data;",
+        "  wire core_rx_valid;",
+        "  rs232 u_core (.clk(clk), .rst(rst), .tx_data(tx_data), .tx_send(tx_send),"
+        " .txd(txd), .tx_busy(tx_busy), .rxd(rxd), .rx_data(core_rx_data),"
+        " .rx_valid(core_rx_valid));",
+        "  // ---- hardware trojan: trigger (received-frame counter) ----",
+        f"  reg [{width - 1}:0] tj_frame_count;",
+        "  always @(posedge clk) begin",
+        "    if (core_rx_valid)",
+        f"      tj_frame_count <= tj_frame_count + {width}'d1;",
+        "  end",
+        f"  wire tj_trigger = (tj_frame_count >= {width}'d{spec.threshold});",
+        "  // ---- hardware trojan: payload (corrupt the received byte) ----",
+        "  assign rx_data = tj_trigger ? (core_rx_data ^ 8'h20) : core_rx_data;",
+        "  assign rx_valid = core_rx_valid;",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def benchmark_verilog(spec: UartTrojanSpec) -> str:
+    """Complete source (tx + rx + clean transceiver + Trojan wrapper)."""
+    return "\n\n".join(
+        [uart_library_verilog(), uart_top_verilog("rs232"), trojan_top_verilog(spec)]
+    )
+
+
+def top_module_name(spec: UartTrojanSpec) -> str:
+    return spec.name.lower().replace("-", "_")
+
+
+UART_TROJAN_SPECS: Dict[str, UartTrojanSpec] = {
+    spec.name: spec
+    for spec in [
+        UartTrojanSpec(
+            name="RS232-T2400",
+            payload_label="bit flip",
+            trigger_label="# received frames",
+            expected_detection="fanout property",
+            threshold=100,
+            description="received-frame counter trigger, received-data corruption payload",
+        )
+    ]
+}

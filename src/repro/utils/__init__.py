@@ -1,0 +1,14 @@
+"""Small shared helpers: bit-vector arithmetic, graph utilities, timing."""
+
+from repro.utils.bitvec import mask, signed_value, to_bits, from_bits, popcount
+from repro.utils.timing import Stopwatch, PeakMemoryTracker
+
+__all__ = [
+    "mask",
+    "signed_value",
+    "to_bits",
+    "from_bits",
+    "popcount",
+    "Stopwatch",
+    "PeakMemoryTracker",
+]

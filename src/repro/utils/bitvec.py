@@ -1,0 +1,72 @@
+"""Bit-vector helpers shared by the simulator, bit-blaster and IPC engine.
+
+All RTL values in the library are plain Python integers interpreted as
+unsigned bit-vectors of a known width.  These helpers centralise the masking
+and bit-slicing conventions so every subsystem agrees on them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask of ``width`` bits (``width`` may be zero)."""
+    if width < 0:
+        raise ValueError(f"negative width: {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit quantity."""
+    return value & mask(width)
+
+
+def signed_value(value: int, width: int) -> int:
+    """Interpret the ``width``-bit unsigned ``value`` as a two's-complement integer."""
+    value = truncate(value, width)
+    if width == 0:
+        return 0
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Expand ``value`` into a list of bits, LSB first."""
+    value = truncate(value, width)
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: Iterable[int]) -> int:
+    """Pack an LSB-first iterable of bits back into an integer."""
+    result = 0
+    for position, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit at position {position} is {bit!r}, expected 0 or 1")
+        result |= bit << position
+    return result
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (which must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount of negative value is undefined")
+    return bin(value).count("1")
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the ``width``-bit ``value`` left by ``amount`` positions."""
+    if width <= 0:
+        return 0
+    amount %= width
+    value = truncate(value, width)
+    return truncate((value << amount) | (value >> (width - amount)), width)
+
+
+def rotate_right(value: int, amount: int, width: int) -> int:
+    """Rotate the ``width``-bit ``value`` right by ``amount`` positions."""
+    if width <= 0:
+        return 0
+    amount %= width
+    return rotate_left(value, width - amount, width)

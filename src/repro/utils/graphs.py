@@ -1,0 +1,57 @@
+"""Graph helpers built on networkx used by netlist and fanout analysis."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+import networkx as nx
+
+
+def reachable_from(graph: nx.DiGraph, sources: Iterable[Hashable]) -> Set[Hashable]:
+    """All nodes reachable from any of ``sources`` (excluding unreachable sources)."""
+    seen: Set[Hashable] = set()
+    stack = [node for node in sources if node in graph]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(successor for successor in graph.successors(node) if successor not in seen)
+    return seen
+
+
+def bfs_distances(graph: nx.DiGraph, sources: Iterable[Hashable]) -> Dict[Hashable, int]:
+    """Minimum hop distance from any source to every reachable node.
+
+    Sources themselves get distance 0.  Nodes not reachable from any source are
+    absent from the returned mapping.
+    """
+    distances: Dict[Hashable, int] = {}
+    frontier: List[Hashable] = []
+    for node in sources:
+        if node in graph and node not in distances:
+            distances[node] = 0
+            frontier.append(node)
+    while frontier:
+        next_frontier: List[Hashable] = []
+        for node in frontier:
+            for successor in graph.successors(node):
+                if successor not in distances:
+                    distances[successor] = distances[node] + 1
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return distances
+
+
+def topological_order(graph: nx.DiGraph) -> List[Hashable]:
+    """Topological order of a DAG; raises ``networkx.NetworkXUnfeasible`` on cycles."""
+    return list(nx.topological_sort(graph))
+
+
+def find_cycle(graph: nx.DiGraph) -> List[Hashable]:
+    """Return one cycle as a list of nodes, or an empty list if the graph is acyclic."""
+    try:
+        edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return []
+    return [edge[0] for edge in edges]

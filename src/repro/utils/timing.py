@@ -1,0 +1,76 @@
+"""Wall-clock and memory measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class Stopwatch:
+    """Accumulates named wall-clock durations.
+
+    Used by the detection flow to report per-property proof runtimes, mirroring
+    the "1 to 3 seconds per property" measurement of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._durations: Dict[str, List[float]] = {}
+
+    def time(self, name: str):
+        """Return a context manager recording one duration under ``name``."""
+        return _StopwatchSpan(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self._durations.setdefault(name, []).append(seconds)
+
+    def durations(self, name: str) -> List[float]:
+        return list(self._durations.get(name, []))
+
+    def total(self, name: str | None = None) -> float:
+        if name is not None:
+            return sum(self._durations.get(name, []))
+        return sum(sum(values) for values in self._durations.values())
+
+    def names(self) -> List[str]:
+        return list(self._durations)
+
+
+class _StopwatchSpan:
+    def __init__(self, stopwatch: Stopwatch, name: str) -> None:
+        self._stopwatch = stopwatch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StopwatchSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self._stopwatch.record(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class PeakMemoryTracker:
+    """Tracks the peak Python heap allocation of a code region via ``tracemalloc``."""
+
+    peak_bytes: int = 0
+    _was_tracing: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "PeakMemoryTracker":
+        self._was_tracing = tracemalloc.is_tracing()
+        if not self._was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        _current, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = peak
+        if not self._was_tracing:
+            tracemalloc.stop()
+
+    @property
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes / (1024 * 1024)

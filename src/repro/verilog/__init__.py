@@ -1,0 +1,25 @@
+"""Verilog-2001 synthesisable-subset frontend.
+
+The frontend turns Verilog source text into an abstract syntax tree
+(:mod:`repro.verilog.ast`) which :mod:`repro.rtl.elaborate` lowers into the
+word-level RTL IR.  The supported subset covers everything used by the
+Trust-Hub-style accelerator benchmarks shipped in :mod:`repro.trusthub`:
+
+* module declarations with ANSI or non-ANSI ports and parameters,
+* ``wire`` / ``reg`` declarations with ranges,
+* continuous ``assign`` statements,
+* ``always @(posedge clk)`` (optionally with an asynchronous reset edge) and
+  ``always @(*)`` blocks containing ``if``/``else``, ``case`` and
+  blocking/non-blocking assignments,
+* module instantiations with named or positional connections and parameter
+  overrides,
+* the full synthesisable expression grammar (arithmetic, bitwise, logical,
+  reduction, comparison, shifts, concatenation, replication, bit/part selects,
+  conditional operator, sized/based literals).
+"""
+
+from repro.verilog.lexer import Lexer, Token, TokenKind
+from repro.verilog.parser import parse_source, Parser
+from repro.verilog import ast
+
+__all__ = ["Lexer", "Token", "TokenKind", "parse_source", "Parser", "ast"]

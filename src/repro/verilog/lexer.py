@@ -1,0 +1,191 @@
+"""Tokeniser for the supported Verilog subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List, Optional
+
+from repro.errors import VerilogSyntaxError
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENT = auto()
+    NUMBER = auto()
+    BASED_NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {
+        "module", "endmodule", "input", "output", "inout", "wire", "reg",
+        "assign", "always", "posedge", "negedge", "or", "if", "else", "begin",
+        "end", "case", "casez", "casex", "endcase", "default", "parameter",
+        "localparam", "integer", "function", "endfunction", "for", "generate",
+        "endgenerate", "genvar", "initial", "signed",
+    }
+)
+
+# Longest-match-first operator table.
+_OPERATORS = [
+    "<<<", ">>>", "===", "!==",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "~&", "~|", "~^", "^~",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?",
+]
+
+_PUNCT = ["(", ")", "[", "]", "{", "}", ",", ";", ":", ".", "@", "#"]
+
+_NUMBER_RE = re.compile(r"[0-9][0-9_]*")
+_BASED_RE = re.compile(r"(?:[0-9][0-9_]*)?\s*'\s*[sS]?[bBoOdDhH][0-9a-fA-FxXzZ_?]+")
+_IDENT_RE = re.compile(r"[a-zA-Z_][a-zA-Z_0-9$]*")
+_ESCAPED_IDENT_RE = re.compile(r"\\[^\s]+")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def is_operator(self, text: str) -> bool:
+        return self.kind == TokenKind.OPERATOR and self.text == text
+
+
+class Lexer:
+    """Converts Verilog source text into a list of :class:`Token`.
+
+    Comments (``//`` and ``/* */``), compiler directives starting with a
+    backtick and whitespace are discarded.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._length = len(source)
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens = list(self._iter_tokens())
+        tokens.append(Token(TokenKind.EOF, "", self._line, self._column))
+        return tokens
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self._pos >= self._length:
+                return
+            token = self._next_token()
+            if token is not None:
+                yield token
+
+    def _skip_trivia(self) -> None:
+        while self._pos < self._length:
+            char = self._source[self._pos]
+            if char in " \t\r":
+                self._advance(1)
+            elif char == "\n":
+                self._advance(1)
+            elif self._source.startswith("//", self._pos):
+                end = self._source.find("\n", self._pos)
+                self._advance((end - self._pos) if end != -1 else (self._length - self._pos))
+            elif self._source.startswith("/*", self._pos):
+                end = self._source.find("*/", self._pos + 2)
+                if end == -1:
+                    raise VerilogSyntaxError("unterminated block comment", self._line, self._column)
+                self._advance(end + 2 - self._pos)
+            elif char == "`":
+                # Compiler directives (`timescale, `define, ...) are skipped to
+                # the end of the line; benchmark sources do not rely on macros.
+                end = self._source.find("\n", self._pos)
+                self._advance((end - self._pos) if end != -1 else (self._length - self._pos))
+            else:
+                return
+
+    def _next_token(self) -> Optional[Token]:
+        line, column = self._line, self._column
+        match = _BASED_RE.match(self._source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            return Token(TokenKind.BASED_NUMBER, text, line, column)
+        match = _NUMBER_RE.match(self._source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            return Token(TokenKind.NUMBER, text, line, column)
+        match = _ESCAPED_IDENT_RE.match(self._source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            return Token(TokenKind.IDENT, text[1:], line, column)
+        match = _IDENT_RE.match(self._source, self._pos)
+        if match:
+            text = match.group(0)
+            self._advance(len(text))
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return Token(kind, text, line, column)
+        if self._source[self._pos] == '"':
+            end = self._source.find('"', self._pos + 1)
+            if end == -1:
+                raise VerilogSyntaxError("unterminated string literal", line, column)
+            text = self._source[self._pos + 1 : end]
+            self._advance(end + 1 - self._pos)
+            return Token(TokenKind.STRING, text, line, column)
+        for operator in _OPERATORS:
+            if self._source.startswith(operator, self._pos):
+                self._advance(len(operator))
+                return Token(TokenKind.OPERATOR, operator, line, column)
+        char = self._source[self._pos]
+        if char in _PUNCT:
+            self._advance(1)
+            return Token(TokenKind.PUNCT, char, line, column)
+        raise VerilogSyntaxError(f"unexpected character {char!r}", line, column)
+
+    def _advance(self, count: int) -> None:
+        for _ in range(count):
+            if self._pos >= self._length:
+                return
+            if self._source[self._pos] == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+            self._pos += 1
+
+
+def parse_based_literal(text: str) -> tuple[Optional[int], int]:
+    """Decode a based literal like ``8'hFF`` into ``(width, value)``.
+
+    The width is ``None`` when the literal does not carry an explicit size
+    (e.g. ``'d15``).  ``x``/``z``/``?`` digits are treated as zero; the
+    synthesisable benchmark subset never relies on their tri-state semantics.
+    """
+    compact = text.replace("_", "").replace(" ", "")
+    size_text, _, rest = compact.partition("'")
+    width = int(size_text) if size_text else None
+    rest = rest.lstrip("sS")
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("?", "0").replace("x", "0").replace("X", "0")
+    digits = digits.replace("z", "0").replace("Z", "0")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    value = int(digits, base) if digits else 0
+    if width is not None:
+        value &= (1 << width) - 1
+    return width, value

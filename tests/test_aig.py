@@ -1,0 +1,130 @@
+"""Tests for the And-Inverter Graph."""
+
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.aig.aig import AIG, FALSE, TRUE, negate
+
+
+class TestSimplificationRules:
+    def test_and_with_false(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_(a, FALSE) == FALSE
+
+    def test_and_with_true(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_(a, TRUE) == a
+
+    def test_and_idempotent(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_(a, a) == a
+
+    def test_and_with_complement_is_false(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_(a, negate(a)) == FALSE
+
+    def test_structural_hashing_shares_nodes(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        first = aig.and_(a, b)
+        second = aig.and_(b, a)
+        assert first == second
+        assert aig.num_and_nodes == 1
+
+    def test_mux_constant_select(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        assert aig.mux(TRUE, a, b) == a
+        assert aig.mux(FALSE, a, b) == b
+
+    def test_mux_same_branches(self):
+        aig = AIG()
+        s, a = aig.add_input("s"), aig.add_input("a")
+        assert aig.mux(s, a, a) == a
+
+    def test_or_many_short_circuits_on_true(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.or_many([a, TRUE, aig.add_input("b")]) == TRUE
+
+    def test_and_many_short_circuits_on_false(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.and_many([a, FALSE]) == FALSE
+
+    def test_input_names_recorded(self):
+        aig = AIG()
+        literal = aig.add_input("my_signal[3]")
+        assert aig.input_name(literal >> 1) == "my_signal[3]"
+
+
+class TestEvaluation:
+    def _truth_table(self, build):
+        """Evaluate a two-input function built over an AIG for all input values."""
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        root = build(aig, a, b)
+        table = {}
+        for va, vb in itertools.product((0, 1), repeat=2):
+            table[(va, vb)] = aig.evaluate([root], {a >> 1: va, b >> 1: vb})[0]
+        return table
+
+    def test_and_truth_table(self):
+        table = self._truth_table(lambda g, a, b: g.and_(a, b))
+        assert table == {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}
+
+    def test_or_truth_table(self):
+        table = self._truth_table(lambda g, a, b: g.or_(a, b))
+        assert table == {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}
+
+    def test_xor_truth_table(self):
+        table = self._truth_table(lambda g, a, b: g.xor(a, b))
+        assert table == {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_xnor_truth_table(self):
+        table = self._truth_table(lambda g, a, b: g.xnor(a, b))
+        assert table == {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}
+
+    def test_mux_truth_table(self):
+        aig = AIG()
+        s, a, b = aig.add_input("s"), aig.add_input("a"), aig.add_input("b")
+        root = aig.mux(s, a, b)
+        for vs, va, vb in itertools.product((0, 1), repeat=3):
+            expected = va if vs else vb
+            value = aig.evaluate([root], {s >> 1: vs, a >> 1: va, b >> 1: vb})[0]
+            assert value == expected
+
+    def test_constants_evaluate(self):
+        aig = AIG()
+        assert aig.evaluate([TRUE, FALSE], {}) == [1, 0]
+
+    def test_missing_input_defaults_to_zero(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        assert aig.evaluate([a], {}) == [0]
+
+    def test_cone_nodes_topological(self):
+        aig = AIG()
+        a, b, c = (aig.add_input(x) for x in "abc")
+        ab = aig.and_(a, b)
+        root = aig.and_(ab, c)
+        order = aig.cone_nodes([root])
+        assert order.index(ab >> 1) < order.index(root >> 1)
+
+    @given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()), min_size=1, max_size=16))
+    def test_composed_expression_matches_python(self, rows):
+        aig = AIG()
+        a, b, c = (aig.add_input(x) for x in "abc")
+        # f = (a AND b) XOR (NOT c)
+        root = aig.xor(aig.and_(a, b), negate(c))
+        for va, vb, vc in rows:
+            expected = int((va and vb) != (not vc))
+            value = aig.evaluate(
+                [root], {a >> 1: int(va), b >> 1: int(vb), c >> 1: int(vc)}
+            )[0]
+            assert value == expected

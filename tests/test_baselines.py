@@ -1,0 +1,168 @@
+"""Tests for the baseline detection techniques (random testing, BMC, UCI, FANCI)."""
+
+import pytest
+
+from repro.baselines import (
+    BoundedTrojanChecker,
+    FanciAnalysis,
+    RandomSimulationTester,
+    UnusedCircuitIdentification,
+)
+from repro.baselines.random_sim import aes_pipeline_golden
+from repro.errors import DesignError
+from repro.rtl import elaborate_source
+from repro.trusthub import load_module
+from repro.trusthub.aes_core import AES_LATENCY
+
+
+SHORT_TRIGGER_TROJAN = """
+module acc(input clk, input [7:0] din, output [7:0] dout);
+  reg [7:0] s1;
+  reg [7:0] s2;
+  reg [2:0] count;
+  always @(posedge clk) begin
+    s1 <= din + 8'h11;
+    s2 <= s1 ^ 8'h22;
+    count <= count + 3'h1;
+  end
+  assign dout = (count == 3'h7) ? ~s2 : s2;
+endmodule
+"""
+
+LONG_TRIGGER_TROJAN = """
+module acc(input clk, input [7:0] din, output [7:0] dout);
+  reg [7:0] s1;
+  reg [7:0] s2;
+  reg [19:0] count;
+  always @(posedge clk) begin
+    s1 <= din + 8'h11;
+    s2 <= s1 ^ 8'h22;
+    count <= count + 20'h1;
+  end
+  assign dout = (count == 20'hfffff) ? ~s2 : s2;
+endmodule
+"""
+
+GOLDEN = """
+module acc(input clk, input [7:0] din, output [7:0] dout);
+  reg [7:0] s1;
+  reg [7:0] s2;
+  always @(posedge clk) begin
+    s1 <= din + 8'h11;
+    s2 <= s1 ^ 8'h22;
+  end
+  assign dout = s2;
+endmodule
+"""
+
+
+@pytest.fixture
+def golden_module():
+    return elaborate_source(GOLDEN, "acc")
+
+
+@pytest.fixture
+def short_trigger_module():
+    return elaborate_source(SHORT_TRIGGER_TROJAN, "acc")
+
+
+@pytest.fixture
+def long_trigger_module():
+    return elaborate_source(LONG_TRIGGER_TROJAN, "acc")
+
+
+class TestRandomSimulation:
+    def test_clean_aes_core_shows_no_mismatch(self):
+        module = load_module("AES-HT-FREE")
+        tester = RandomSimulationTester(module, aes_pipeline_golden(AES_LATENCY), seed=1)
+        result = tester.run(cycles=AES_LATENCY + 20)
+        assert not result.trojan_detected
+        assert "no mismatch" in result.summary()
+
+    def test_long_trigger_trojan_not_found_by_random_testing(self, long_trigger_module):
+        def golden(history):
+            if len(history) < 3:
+                return None
+            stimulus = history[-3]
+            return {"dout": ((stimulus["din"] + 0x11) & 0xFF) ^ 0x22}
+
+        tester = RandomSimulationTester(long_trigger_module, golden, checked_outputs=["dout"], seed=3)
+        result = tester.run(cycles=500)
+        assert not result.trojan_detected
+
+    def test_short_trigger_trojan_found_by_random_testing(self, short_trigger_module):
+        def golden(history):
+            if len(history) < 3:
+                return None
+            stimulus = history[-3]
+            return {"dout": ((stimulus["din"] + 0x11) & 0xFF) ^ 0x22}
+
+        tester = RandomSimulationTester(short_trigger_module, golden, checked_outputs=["dout"], seed=3)
+        result = tester.run(cycles=64)
+        assert result.trojan_detected
+        assert result.mismatches[0].signal == "dout"
+
+
+class TestBoundedModelChecking:
+    def test_short_trigger_found_within_bound(self, short_trigger_module, golden_module):
+        checker = BoundedTrojanChecker(short_trigger_module, golden_module)
+        result = checker.check(bound=10)
+        assert result.trojan_detected
+        assert result.failing_cycle is not None
+        assert "divergence" in result.summary()
+
+    def test_long_trigger_missed_within_bound(self, long_trigger_module, golden_module):
+        checker = BoundedTrojanChecker(long_trigger_module, golden_module)
+        result = checker.check(bound=10)
+        assert not result.trojan_detected
+
+    def test_clean_design_never_diverges(self, golden_module):
+        checker = BoundedTrojanChecker(golden_module, golden_module)
+        assert not checker.check(bound=6).trojan_detected
+
+    def test_golden_inputs_must_exist_in_design(self, golden_module):
+        other = elaborate_source(
+            "module acc(input clk, input [7:0] other_name, output [7:0] dout);"
+            " assign dout = other_name; endmodule",
+            "acc",
+        )
+        with pytest.raises(DesignError):
+            BoundedTrojanChecker(golden_module, other)
+
+
+class TestUci:
+    def test_dormant_trigger_flagged(self, long_trigger_module):
+        analysis = UnusedCircuitIdentification(long_trigger_module)
+        stimuli = [{"din": (17 * i) & 0xFF} for i in range(40)]
+        result = analysis.analyze(stimuli)
+        assert result.trojan_suspected
+        # The 20-bit counter's value changes, but it never influences dout
+        # during the campaign — the influence check must flag it.
+        assert "count" in result.non_influencing_signals
+        assert "count" in result.candidates
+        assert "UCI" in result.summary()
+
+    def test_clean_design_not_flagged(self, golden_module):
+        analysis = UnusedCircuitIdentification(golden_module)
+        stimuli = [{"din": (31 * i + 5) & 0xFF} for i in range(40)]
+        result = analysis.analyze(stimuli)
+        assert "s1" not in result.candidates
+        assert "s2" not in result.candidates
+
+
+class TestFanci:
+    def test_wide_comparator_has_low_control_value(self):
+        module = elaborate_source(
+            "module m(input clk, input [31:0] d, output q);"
+            " reg armed; always @(posedge clk) if (d == 32'hdeadbeef) armed <= 1'b1;"
+            " assign q = armed; endmodule",
+            "m",
+        )
+        result = FanciAnalysis(module, seed=5).analyze(samples=128, threshold=0.05)
+        assert result.trojan_suspected
+        assert "armed" in result.flagged_signals()
+        assert "FANCI" in result.summary()
+
+    def test_ordinary_datapath_not_flagged(self, golden_module):
+        result = FanciAnalysis(golden_module, seed=5).analyze(samples=128, threshold=0.02)
+        assert not [s for s in result.suspicious if s.signal in ("s1", "s2")]

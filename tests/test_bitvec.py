@@ -1,0 +1,119 @@
+"""Unit and property-based tests for repro.utils.bitvec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitvec import (
+    from_bits,
+    mask,
+    popcount,
+    rotate_left,
+    rotate_right,
+    signed_value,
+    to_bits,
+    truncate,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(8) == 0xFF
+
+    def test_wide(self):
+        assert mask(128) == (1 << 128) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestTruncate:
+    def test_in_range_value_unchanged(self):
+        assert truncate(0x3C, 8) == 0x3C
+
+    def test_overflow_wraps(self):
+        assert truncate(0x1FF, 8) == 0xFF
+
+    def test_negative_becomes_twos_complement(self):
+        assert truncate(-1, 4) == 0xF
+
+
+class TestSignedValue:
+    def test_positive(self):
+        assert signed_value(3, 8) == 3
+
+    def test_negative(self):
+        assert signed_value(0xFF, 8) == -1
+        assert signed_value(0x80, 8) == -128
+
+    def test_zero_width(self):
+        assert signed_value(0, 0) == 0
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0))
+    def test_range(self, width, value):
+        result = signed_value(value, width)
+        assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+
+class TestBitsRoundtrip:
+    def test_to_bits_lsb_first(self):
+        assert to_bits(0b1011, 4) == [1, 1, 0, 1]
+
+    def test_from_bits(self):
+        assert from_bits([1, 1, 0, 1]) == 0b1011
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=64, max_value=80))
+    def test_roundtrip(self, value, width):
+        assert from_bits(to_bits(value, width)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=70))
+    def test_inverse_roundtrip(self, bits):
+        assert to_bits(from_bits(bits), len(bits)) == bits
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones(self):
+        assert popcount(0xFF) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-5)
+
+    @given(st.integers(min_value=0, max_value=2**80))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestRotate:
+    def test_rotate_left_simple(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+
+    def test_rotate_left_wraps(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_rotate_right_is_inverse(self):
+        assert rotate_right(rotate_left(0xA5, 3, 8), 3, 8) == 0xA5
+
+    def test_zero_width(self):
+        assert rotate_left(5, 3, 0) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=1, max_value=16),
+    )
+    def test_full_rotation_identity(self, value, amount, width):
+        value = truncate(value, width)
+        assert rotate_left(value, amount + width, width) == rotate_left(value, amount, width)

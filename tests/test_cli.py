@@ -1,0 +1,109 @@
+"""Tests for the repro-ht-detect command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+CLEAN_DESIGN = """
+module widget(input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] stage;
+  always @(posedge clk) stage <= d + 8'h1;
+  assign q = stage;
+endmodule
+"""
+
+TROJANED_DESIGN = """
+module widget(input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] stage;
+  reg [15:0] bomb;
+  always @(posedge clk) begin
+    stage <= d + 8'h1;
+    bomb <= bomb + 16'h1;
+  end
+  assign q = (bomb == 16'hffff) ? ~stage : stage;
+endmodule
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.v"
+    path.write_text(CLEAN_DESIGN)
+    return str(path)
+
+
+@pytest.fixture
+def trojaned_file(tmp_path):
+    path = tmp_path / "trojan.v"
+    path.write_text(TROJANED_DESIGN)
+    return str(path)
+
+
+class TestArgumentParsing:
+    def test_parser_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verilog_and_benchmark_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--verilog", "x.v", "--benchmark", "AES-T100"])
+
+    def test_top_required_with_verilog(self, clean_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--verilog", clean_file])
+
+
+class TestVerilogMode:
+    def test_clean_design_exits_zero(self, clean_file, capsys):
+        assert main(["--verilog", clean_file, "--top", "widget"]) == 0
+        assert "SECURE" in capsys.readouterr().out
+
+    def test_trojaned_design_exits_one(self, trojaned_file, capsys):
+        assert main(["--verilog", trojaned_file, "--top", "widget"]) == 1
+        output = capsys.readouterr().out
+        assert "TROJAN" in output or "UNCOVERED" in output
+
+    def test_waiver_flag(self, trojaned_file, capsys):
+        exit_code = main(["--verilog", trojaned_file, "--top", "widget", "--waive", "bomb"])
+        # The waived counter no longer fails a property, but the coverage
+        # check still reports it (it is outside the input cone).
+        assert exit_code == 1
+        assert "coverage" in capsys.readouterr().out
+
+    def test_verbose_prints_per_property_lines(self, clean_file, capsys):
+        main(["--verilog", clean_file, "--top", "widget", "--verbose"])
+        assert "init property" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["--verilog", "/nonexistent/file.v", "--top", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_verilog_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.v"
+        path.write_text("module broken(input a; endmodule")
+        assert main(["--verilog", str(path), "--top", "broken"]) == 2
+
+    def test_explicit_inputs_flag(self, clean_file):
+        assert main(["--verilog", clean_file, "--top", "widget", "--inputs", "d"]) == 0
+
+    def test_strict_paper_properties_flag(self, clean_file):
+        assert main(["--verilog", clean_file, "--top", "widget", "--strict-paper-properties"]) == 0
+
+
+class TestBenchmarkMode:
+    def test_list_benchmarks(self, capsys):
+        assert main(["--list-benchmarks"]) == 0
+        output = capsys.readouterr().out
+        assert "AES-T1400" in output and "BasicRSA-T300" in output and "RS232-T2400" in output
+
+    def test_trojaned_benchmark_detected(self, capsys):
+        assert main(["--benchmark", "AES-T1400"]) == 1
+        assert "init property" in capsys.readouterr().out
+
+    def test_unknown_benchmark_reports_error(self, capsys):
+        assert main(["--benchmark", "AES-T0"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_check_all_flag(self, capsys):
+        assert main(["--benchmark", "AES-T2500", "--check-all"]) == 1

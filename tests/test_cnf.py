@@ -1,0 +1,89 @@
+"""Tests for the Tseitin CNF conversion."""
+
+import itertools
+
+from repro.aig.aig import AIG, FALSE, TRUE, negate
+from repro.aig.cnf import CnfBuilder
+from repro.sat.solver import SatSolver
+
+
+def equivalent_under_all_inputs(aig, root, builder, cnf_literal, input_literals):
+    """Check that the CNF constrains ``cnf_literal`` to the AIG value of ``root``."""
+    for bits in itertools.product((0, 1), repeat=len(input_literals)):
+        expected = aig.evaluate([root], {lit >> 1: bit for lit, bit in zip(input_literals, bits)})[0]
+        solver = SatSolver()
+        for clause in builder.cnf.clauses:
+            solver.add_clause(clause)
+        solver.ensure_vars(builder.cnf.num_vars)
+        assumptions = []
+        for literal, bit in zip(input_literals, bits):
+            cnf_input = builder.literal_of(literal)
+            assumptions.append(cnf_input if bit else -cnf_input)
+        assumptions.append(cnf_literal if expected else -cnf_literal)
+        if not solver.solve(assumptions=assumptions).satisfiable:
+            return False
+        # And the opposite value must be blocked.
+        assumptions[-1] = -assumptions[-1]
+        if solver.solve(assumptions=assumptions).satisfiable:
+            return False
+    return True
+
+
+class TestTseitin:
+    def test_constant_literals(self):
+        aig = AIG()
+        builder = CnfBuilder(aig)
+        true_literal = builder.literal_of(TRUE)
+        false_literal = builder.literal_of(FALSE)
+        solver = SatSolver()
+        for clause in builder.cnf.clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.value(abs(true_literal)) is (true_literal > 0)
+        assert not solver.solve(assumptions=[false_literal]).satisfiable
+
+    def test_single_and_gate(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        root = aig.and_(a, b)
+        builder = CnfBuilder(aig)
+        literal = builder.literal_of(root)
+        assert equivalent_under_all_inputs(aig, root, builder, literal, [a, b])
+
+    def test_nested_logic(self):
+        aig = AIG()
+        a, b, c = (aig.add_input(x) for x in "abc")
+        root = aig.or_(aig.xor(a, b), aig.and_(b, negate(c)))
+        builder = CnfBuilder(aig)
+        literal = builder.literal_of(root)
+        assert equivalent_under_all_inputs(aig, root, builder, literal, [a, b, c])
+
+    def test_complemented_root(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        root = negate(aig.and_(a, b))
+        builder = CnfBuilder(aig)
+        literal = builder.literal_of(root)
+        assert equivalent_under_all_inputs(aig, root, builder, literal, [a, b])
+
+    def test_shared_cone_encoded_once(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        shared = aig.and_(a, b)
+        first_root = aig.or_(shared, a)
+        second_root = aig.xor(shared, b)
+        builder = CnfBuilder(aig)
+        builder.literal_of(first_root)
+        clauses_after_first = len(builder.cnf.clauses)
+        builder.literal_of(second_root)
+        # The shared AND gate must not be re-encoded, only the new XOR cone.
+        assert len(builder.cnf.clauses) - clauses_after_first <= 9
+
+    def test_input_only_cone_adds_no_clauses(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        builder = CnfBuilder(aig)
+        before = len(builder.cnf.clauses)
+        builder.literal_of(a)
+        assert len(builder.cnf.clauses) == before

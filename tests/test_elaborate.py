@@ -1,0 +1,287 @@
+"""Tests for elaboration: AST -> flat RTL IR."""
+
+import pytest
+
+from repro.errors import ElaborationError, UnsupportedFeatureError
+from repro.rtl import elaborate_source, exprs
+from repro.sim import Simulator
+
+
+class TestPortsAndSignals:
+    def test_port_widths(self, counter_module):
+        assert counter_module.inputs == {"clk": 1, "rst": 1, "en": 1}
+        assert counter_module.outputs == {"count": 16, "wrapped": 1}
+
+    def test_parameter_override_through_instance(self, counter_module):
+        assert counter_module.width_of("u_cnt.cnt") == 16
+
+    def test_clock_traced_through_hierarchy(self, counter_module):
+        assert counter_module.clocks == {"clk"}
+
+    def test_data_inputs_exclude_clock(self, counter_module):
+        assert set(counter_module.data_inputs()) == {"rst", "en"}
+
+    def test_state_and_output_signals(self, pipeline_module):
+        assert set(pipeline_module.state_and_output_signals()) == {"s1", "s2", "dout"}
+
+    def test_validate_passes_for_elaborated_module(self, pipeline_module):
+        pipeline_module.validate()
+
+    def test_unknown_signal_width_raises(self, pipeline_module):
+        with pytest.raises(ElaborationError):
+            pipeline_module.width_of("missing")
+
+    def test_unknown_top_raises(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("module m; endmodule", "other")
+
+    def test_default_parameter_value_used(self):
+        module = elaborate_source(
+            "module m #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);"
+            " assign y = a; endmodule",
+            "m",
+        )
+        assert module.inputs["a"] == 4
+
+    def test_parameter_override_at_top(self):
+        module = elaborate_source(
+            "module m #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);"
+            " assign y = a; endmodule",
+            "m",
+            parameters={"W": 12},
+        )
+        assert module.inputs["a"] == 12
+
+    def test_unknown_parameter_override_raises(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("module m(input a); endmodule", "m", parameters={"X": 1})
+
+
+class TestContinuousAssigns:
+    def test_simple_assign(self):
+        module = elaborate_source(
+            "module m(input [3:0] a, output [3:0] y); assign y = ~a; endmodule", "m"
+        )
+        assert isinstance(module.comb["y"], exprs.Unop)
+
+    def test_partial_assigns_merge(self):
+        module = elaborate_source(
+            "module m(input [3:0] a, input [3:0] b, output [7:0] y);"
+            " assign y[3:0] = a; assign y[7:4] = b; endmodule",
+            "m",
+        )
+        simulator = Simulator(module)
+        values = simulator.step({"a": 0x3, "b": 0xC})
+        assert values["y"] == 0xC3
+
+    def test_partial_assign_gap_filled_with_zero(self):
+        module = elaborate_source(
+            "module m(input [3:0] a, output [11:0] y); assign y[3:0] = a; endmodule", "m"
+        )
+        values = Simulator(module).step({"a": 0xF})
+        assert values["y"] == 0x00F
+
+    def test_overlapping_drivers_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "module m(input a, output y); assign y = a; assign y = ~a; endmodule", "m"
+            )
+
+    def test_assign_to_concat_lvalue(self):
+        module = elaborate_source(
+            "module m(input [7:0] a, output [3:0] hi, output [3:0] lo);"
+            " assign {hi, lo} = a; endmodule",
+            "m",
+        )
+        values = Simulator(module).step({"a": 0xA5})
+        assert values["hi"] == 0xA and values["lo"] == 0x5
+
+    def test_undriven_used_signal_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "module m(output y); wire ghost; assign y = ghost; endmodule", "m"
+            )
+
+    def test_combinational_loop_rejected_by_analysis(self):
+        from repro.rtl.netlist import DependencyGraph
+
+        module = elaborate_source(
+            "module m(output y); wire a; wire b; assign a = ~b; assign b = ~a;"
+            " assign y = a; endmodule",
+            "m",
+        )
+        with pytest.raises(ElaborationError):
+            DependencyGraph(module)
+
+
+class TestAlwaysBlocks:
+    def test_nonblocking_assignment_becomes_register(self, pipeline_module):
+        assert set(pipeline_module.registers) == {"s1", "s2"}
+
+    def test_if_without_else_keeps_value(self):
+        module = elaborate_source(
+            "module m(input clk, input en, input [3:0] d, output [3:0] q);"
+            " reg [3:0] r; always @(posedge clk) if (en) r <= d;"
+            " assign q = r; endmodule",
+            "m",
+        )
+        simulator = Simulator(module)
+        simulator.step({"en": 1, "d": 7})
+        simulator.step({"en": 0, "d": 3})
+        assert simulator.state()["r"] == 7
+
+    def test_case_statement_semantics(self):
+        module = elaborate_source(
+            "module m(input clk, input [1:0] s, output [7:0] q); reg [7:0] r;"
+            " always @(posedge clk) case (s) 2'd0: r <= 8'h11; 2'd1: r <= 8'h22;"
+            " default: r <= 8'hff; endcase assign q = r; endmodule",
+            "m",
+        )
+        simulator = Simulator(module)
+        simulator.step({"s": 1})
+        assert simulator.state()["r"] == 0x22
+        simulator.step({"s": 3})
+        assert simulator.state()["r"] == 0xFF
+
+    def test_blocking_assignment_visible_to_later_reads(self):
+        module = elaborate_source(
+            "module m(input a, input b, output reg y); always @(*) begin"
+            " y = a; y = y & b; end endmodule",
+            "m",
+        )
+        values = Simulator(module).step({"a": 1, "b": 0})
+        assert values["y"] == 0
+
+    def test_combinational_latch_detected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "module m(input en, input d, output reg q);"
+                " always @(*) if (en) q = d; endmodule",
+                "m",
+            )
+
+    def test_latch_avoided_by_default_assignment(self):
+        module = elaborate_source(
+            "module m(input en, input d, output reg q);"
+            " always @(*) begin q = 1'b0; if (en) q = d; end endmodule",
+            "m",
+        )
+        assert Simulator(module).step({"en": 0, "d": 1})["q"] == 0
+
+    def test_partial_bit_assignment_in_always(self):
+        module = elaborate_source(
+            "module m(input clk, input d, output [3:0] q); reg [3:0] r;"
+            " always @(posedge clk) r[2] <= d; assign q = r; endmodule",
+            "m",
+        )
+        simulator = Simulator(module)
+        simulator.step({"d": 1})
+        assert simulator.state()["r"] == 0b0100
+
+    def test_reg_assigned_in_two_always_blocks_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "module m(input clk, input d); reg q;"
+                " always @(posedge clk) q <= d; always @(posedge clk) q <= ~d; endmodule",
+                "m",
+            )
+
+    def test_signal_not_declared_reg_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source(
+                "module m(input clk, input d, output q); wire q2;"
+                " always @(posedge clk) q2 <= d; assign q = q2; endmodule",
+                "m",
+            )
+
+    def test_async_reset_value_extracted_for_simulator(self):
+        module = elaborate_source(
+            "module m(input clk, input rst, input [3:0] d, output [3:0] q); reg [3:0] r;"
+            " always @(posedge clk or posedge rst) if (rst) r <= 4'h9; else r <= d;"
+            " assign q = r; endmodule",
+            "m",
+        )
+        assert module.registers["r"].reset_value == 9
+        assert "rst" in module.resets
+
+    def test_rom_inference_from_constant_case(self):
+        module = elaborate_source(
+            "module m(input [1:0] a, output reg [7:0] q);"
+            " always @(*) case (a) 2'd0: q = 8'h10; 2'd1: q = 8'h20; 2'd2: q = 8'h30;"
+            " default: q = 8'h40; endcase endmodule",
+            "m",
+        )
+        driver = module.comb["q"]
+        assert isinstance(driver, exprs.Lut)
+        assert driver.table == (0x10, 0x20, 0x30, 0x40)
+
+    def test_non_constant_case_not_rom_inferred(self):
+        module = elaborate_source(
+            "module m(input [1:0] a, input [7:0] d, output reg [7:0] q);"
+            " always @(*) case (a) 2'd0: q = d; default: q = 8'h40; endcase endmodule",
+            "m",
+        )
+        assert not isinstance(module.comb["q"], exprs.Lut)
+
+
+class TestHierarchy:
+    def test_child_signals_are_prefixed(self, counter_module):
+        assert "u_cnt.cnt" in counter_module.signals
+
+    def test_unconnected_input_tied_to_zero(self):
+        source = """
+module child(input [3:0] a, output [3:0] y); assign y = a + 4'h1; endmodule
+module top(output [3:0] y); child u (.y(y), .a()); endmodule
+"""
+        values = Simulator(elaborate_source(source, "top")).step({})
+        assert values["y"] == 1
+
+    def test_output_connected_to_slice(self):
+        source = """
+module child(output [3:0] y); assign y = 4'hA; endmodule
+module top(output [7:0] y); child u (.y(y[7:4])); assign y[3:0] = 4'h5; endmodule
+"""
+        values = Simulator(elaborate_source(source, "top")).step({})
+        assert values["y"] == 0xA5
+
+    def test_positional_connections(self):
+        source = """
+module adder(input [3:0] a, input [3:0] b, output [3:0] s); assign s = a + b; endmodule
+module top(input [3:0] x, input [3:0] y, output [3:0] s); adder u (x, y, s); endmodule
+"""
+        values = Simulator(elaborate_source(source, "top")).step({"x": 2, "y": 3})
+        assert values["s"] == 5
+
+    def test_unknown_child_module_rejected(self):
+        with pytest.raises(ElaborationError):
+            elaborate_source("module top; ghost u (); endmodule", "top")
+
+    def test_unknown_child_port_rejected(self):
+        source = """
+module child(input a); endmodule
+module top(input x); child u (.nope(x)); endmodule
+"""
+        with pytest.raises(ElaborationError):
+            elaborate_source(source, "top")
+
+    def test_nested_hierarchy_flattens(self):
+        source = """
+module leaf(input [3:0] a, output [3:0] y); assign y = ~a; endmodule
+module mid(input [3:0] a, output [3:0] y); leaf u_leaf (.a(a), .y(y)); endmodule
+module top(input [3:0] a, output [3:0] y); mid u_mid (.a(a), .y(y)); endmodule
+"""
+        module = elaborate_source(source, "top")
+        assert "u_mid.u_leaf.y" in module.signals
+        assert Simulator(module).step({"a": 0b0011})["y"] == 0b1100
+
+    def test_parameter_propagates_to_grandchild(self):
+        source = """
+module leaf #(parameter W = 2)(input [W-1:0] a, output [W-1:0] y); assign y = a; endmodule
+module top(input [7:0] a, output [7:0] y); leaf #(.W(8)) u (.a(a), .y(y)); endmodule
+"""
+        module = elaborate_source(source, "top")
+        assert module.width_of("u.a") == 8
+
+    def test_inout_port_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            elaborate_source("module m(inout a); endmodule", "m")

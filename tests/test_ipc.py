@@ -1,0 +1,202 @@
+"""Tests for the IPC layer: properties, frames and the engine."""
+
+import pytest
+
+from repro.errors import PropertyError
+from repro.ipc import (
+    CounterExample,
+    Equality,
+    IntervalProperty,
+    IpcEngine,
+    Term,
+    TransitionEncoder,
+)
+from repro.ipc.prop import pairwise_equalities
+from repro.rtl import elaborate_source, exprs
+
+
+class TestIntervalProperty:
+    def test_requires_name(self):
+        with pytest.raises(PropertyError):
+            IntervalProperty(name="")
+
+    def test_validate_requires_commitments(self):
+        prop = IntervalProperty(name="p")
+        prop.assume_equal("a", 0)
+        with pytest.raises(PropertyError):
+            prop.validate()
+
+    def test_window_spans_latest_time(self):
+        prop = IntervalProperty(name="p")
+        prop.assume_equal("a", 0)
+        prop.prove_equal("b", 3)
+        assert prop.window() == 3
+
+    def test_instances_from_terms(self):
+        prop = IntervalProperty(name="p")
+        prop.commitments.append(Equality(Term("a", 1, instance=0), 5))
+        assert prop.instances() == (0,)
+        prop.assume_equal("x", 0)
+        assert prop.instances() == (0, 1)
+
+    def test_pairwise_equalities(self):
+        equalities = pairwise_equalities(["b", "a"], time=2)
+        assert [e.left.signal for e in equalities] == ["a", "b"]
+        assert all(e.left.time == 2 and e.right.time == 2 for e in equalities)
+
+    def test_summary_mentions_constraints(self):
+        prop = IntervalProperty(name="p", description="demo")
+        prop.assume_equal("a", 0)
+        prop.prove_equal("b", 1)
+        text = prop.summary()
+        assert "assume" in text and "prove" in text and "demo" in text
+
+    def test_proven_signals(self):
+        prop = IntervalProperty(name="p")
+        prop.prove_equal("z", 1)
+        prop.prove_equal("y", 1)
+        assert prop.proven_signals() == ["y", "z"]
+
+
+class TestSymbolicFrames:
+    def test_leaf_vectors_are_lazy_and_stable(self, pipeline_module):
+        encoder = TransitionEncoder(pipeline_module)
+        frame = encoder.new_frame("f0")
+        first = frame.leaf_vector("s1")
+        second = frame.leaf_vector("s1")
+        assert first == second
+        assert len(first) == 8
+
+    def test_bound_leaf_is_used(self, pipeline_module):
+        encoder = TransitionEncoder(pipeline_module)
+        frame = encoder.new_frame("f0")
+        constant = encoder.blaster.constant(0x5A, 8)
+        frame.bind_leaf("din", constant)
+        assert frame.leaf_vector("din") == constant
+
+    def test_step_frame_registers_come_from_predecessor(self, pipeline_module):
+        encoder = TransitionEncoder(pipeline_module)
+        frame0 = encoder.new_frame("f0")
+        frame0.bind_leaf("din", encoder.blaster.constant(0, 8))
+        frame0.bind_leaf("s1", encoder.blaster.constant(0x10, 8))
+        frame1 = encoder.step(frame0, "f1")
+        # s2 at t+1 = s1 at t + 1 = 0x11 (a constant cone).
+        vector = frame1.vector_of("s2")
+        from repro.utils.bitvec import from_bits
+        values = encoder.aig.evaluate(vector, {})
+        assert from_bits(values) == 0x11
+
+    def test_unrolled_frames_count(self, pipeline_module):
+        encoder = TransitionEncoder(pipeline_module)
+        frames = encoder.unroll("w", 3)
+        assert len(frames) == 4
+
+    def test_comb_signal_vector_cached(self, pipeline_module):
+        encoder = TransitionEncoder(pipeline_module)
+        frame = encoder.new_frame("f0")
+        assert frame.vector_of("dout") == frame.vector_of("dout")
+
+
+class TestIpcEngine:
+    def test_structural_proof_for_clean_pipeline(self, pipeline_module):
+        engine = IpcEngine(pipeline_module)
+        prop = IntervalProperty(name="init")
+        prop.assume_equal("din", 0)
+        prop.prove_equal("s1", 1)
+        result = engine.check(prop)
+        assert result.holds and result.structurally_proven
+
+    def test_failure_produces_counterexample(self, trojaned_module):
+        engine = IpcEngine(trojaned_module)
+        prop = IntervalProperty(name="out")
+        prop.assume_equal("din", 0)
+        prop.assume_equal("s2", 0)
+        prop.prove_equal("dout", 1)
+        result = engine.check(prop)
+        assert not result.holds
+        assert isinstance(result.cex, CounterExample)
+        assert "dout" in result.cex.signals_with_difference()
+        # The difference must originate from an unconstrained leaf: either the
+        # trigger counter or the (unassumed) first pipeline stage.
+        trig_differs = result.cex.value("trig", 0, instance=0) != result.cex.value("trig", 0, instance=1)
+        s1_differs = result.cex.value("s1", 0, instance=0) != result.cex.value("s1", 0, instance=1)
+        assert trig_differs or s1_differs
+
+    def test_assumption_on_culprit_makes_property_hold(self, trojaned_module):
+        engine = IpcEngine(trojaned_module)
+        prop = IntervalProperty(name="out")
+        prop.assume_equal("din", 0)
+        prop.assume_equal("s1", 0)
+        prop.assume_equal("s2", 0)
+        prop.assume_equal("trig", 0)
+        prop.prove_equal("dout", 1)
+        assert engine.check(prop).holds
+
+    def test_constant_assumption_binds_leaf(self, trojaned_module):
+        engine = IpcEngine(trojaned_module)
+        prop = IntervalProperty(name="const")
+        # Pin the *second* instance's counter away from the trigger value and
+        # the first instance's counter to the same value via a term equality.
+        prop.assumptions.append(Equality(Term("trig", 0, instance=1), 3))
+        prop.assumptions.append(Equality(Term("trig", 0, instance=0), Term("trig", 0, instance=1)))
+        prop.assume_equal("din", 0)
+        prop.assume_equal("s1", 0)
+        prop.assume_equal("s2", 0)
+        prop.prove_equal("dout", 1)
+        assert engine.check(prop).holds
+
+    def test_single_instance_bounded_property(self, pipeline_module):
+        # Single-instance property: with din fixed to zero at t, s1 at t+1 is 0x5a.
+        engine = IpcEngine(pipeline_module)
+        prop = IntervalProperty(name="value")
+        prop.assumptions.append(Equality(Term("din", 0, instance=0), 0))
+        prop.commitments.append(Equality(Term("s1", 1, instance=0), 0x5A))
+        assert engine.check(prop).holds
+
+    def test_single_instance_property_failure(self, pipeline_module):
+        engine = IpcEngine(pipeline_module)
+        prop = IntervalProperty(name="value-bad")
+        prop.assumptions.append(Equality(Term("din", 0, instance=0), 0))
+        prop.commitments.append(Equality(Term("s1", 1, instance=0), 0x00))
+        result = engine.check(prop)
+        assert not result.holds
+
+    def test_two_cycle_window(self, pipeline_module):
+        engine = IpcEngine(pipeline_module)
+        prop = IntervalProperty(name="two-cycle")
+        prop.assume_equal("din", 0)
+        prop.assume_equal("din", 1)
+        prop.prove_equal("s1", 1)
+        prop.prove_equal("s2", 2)
+        result = engine.check(prop)
+        assert result.holds
+
+    def test_unknown_signal_raises(self, pipeline_module):
+        engine = IpcEngine(pipeline_module)
+        prop = IntervalProperty(name="bad")
+        prop.assume_equal("din", 0)
+        prop.prove_equal("ghost", 1)
+        with pytest.raises(PropertyError):
+            engine.check(prop)
+
+    def test_persistent_frames_not_constrained_by_earlier_checks(self, trojaned_module):
+        engine = IpcEngine(trojaned_module)
+        constrained = IntervalProperty(name="pin")
+        constrained.assumptions.append(Equality(Term("trig", 0, instance=0), 0))
+        constrained.commitments.append(Equality(Term("trig", 1, instance=0), 1))
+        assert engine.check(constrained).holds
+        # A later check must not inherit the constant pin on instance 0.
+        follow_up = IntervalProperty(name="follow")
+        follow_up.commitments.append(Equality(Term("trig", 1, instance=0), 1))
+        assert not engine.check(follow_up).holds
+
+    def test_counterexample_formatting(self, trojaned_module):
+        engine = IpcEngine(trojaned_module)
+        prop = IntervalProperty(name="fmt")
+        prop.assume_equal("din", 0)
+        prop.assume_equal("s2", 0)
+        prop.prove_equal("dout", 1)
+        result = engine.check(prop)
+        text = result.cex.format()
+        assert "counterexample" in text and "dout" in text
+        assert str(result.cex)

@@ -1,0 +1,101 @@
+"""Tests for the structural netlist views and the fanouts_CCk partitioning."""
+
+import pytest
+
+from repro.rtl import DependencyGraph, compute_fanout_classes, elaborate_source, get_fanout
+
+
+class TestDependencyGraph:
+    def test_leaf_support_of_output(self, pipeline_module):
+        graph = DependencyGraph(pipeline_module)
+        assert graph.leaf_support("dout") == {"s2"}
+
+    def test_leaf_support_of_leaf_is_itself(self, pipeline_module):
+        graph = DependencyGraph(pipeline_module)
+        assert graph.leaf_support("s1") == {"s1"}
+        assert graph.leaf_support("din") == {"din"}
+
+    def test_next_state_leaf_support(self, pipeline_module):
+        graph = DependencyGraph(pipeline_module)
+        assert graph.next_state_leaf_support("s1") == {"din"}
+        assert graph.next_state_leaf_support("s2") == {"s1"}
+
+    def test_next_state_support_through_comb_wire(self):
+        module = elaborate_source(
+            "module m(input clk, input [3:0] a, input [3:0] b, output [3:0] q);"
+            " wire [3:0] sum; assign sum = a + b; reg [3:0] r;"
+            " always @(posedge clk) r <= sum; assign q = r; endmodule",
+            "m",
+        )
+        graph = DependencyGraph(module)
+        assert graph.next_state_leaf_support("r") == {"a", "b"}
+
+    def test_signals_depending_on(self, trojaned_module):
+        graph = DependencyGraph(trojaned_module)
+        assert graph.signals_depending_on({"din"}) == {"s1"}
+        assert graph.signals_depending_on({"trig"}) == {"trig", "dout"}
+
+    def test_cycle_graph_nodes(self, pipeline_module):
+        graph = DependencyGraph(pipeline_module).cycle_graph()
+        assert set(graph.nodes) == {"din", "s1", "s2", "dout"}
+
+    def test_get_fanout_wrapper_accepts_module(self, pipeline_module):
+        assert get_fanout(pipeline_module, ["din"]) == {"s1"}
+
+
+class TestFanoutClasses:
+    def test_pipeline_classes(self, pipeline_module):
+        analysis = compute_fanout_classes(pipeline_module)
+        assert analysis.classes[1] == {"s1"}
+        assert analysis.classes[2] == {"s2", "dout"}
+        assert analysis.depth == 2
+        assert not analysis.uncovered
+
+    def test_distance_map(self, pipeline_module):
+        analysis = compute_fanout_classes(pipeline_module)
+        assert analysis.distance == {"s1": 1, "s2": 2, "dout": 2}
+
+    def test_signals_up_to(self, pipeline_module):
+        analysis = compute_fanout_classes(pipeline_module)
+        assert analysis.signals_up_to(1) == {"s1"}
+        assert analysis.signals_up_to(2) == {"s1", "s2", "dout"}
+
+    def test_trojan_counter_is_covered_but_self_looping(self, trojaned_module):
+        analysis = compute_fanout_classes(trojaned_module)
+        # trig never depends on an input -> uncovered
+        assert "trig" in analysis.uncovered
+
+    def test_uncovered_payload_detected(self, uncovered_trojan_module):
+        analysis = compute_fanout_classes(uncovered_trojan_module)
+        assert {"timer", "beacon"} <= analysis.uncovered
+
+    def test_output_placement_uses_latest_register(self):
+        module = elaborate_source(
+            "module m(input clk, input [3:0] a, output [3:0] y);"
+            " reg [3:0] r1; reg [3:0] r2;"
+            " always @(posedge clk) begin r1 <= a; r2 <= r1; end"
+            " assign y = r1 ^ r2; endmodule",
+            "m",
+        )
+        analysis = compute_fanout_classes(module)
+        assert analysis.distance["y"] == 1
+        assert analysis.placement["y"] == 2
+
+    def test_output_with_direct_input_path_is_class_one(self):
+        module = elaborate_source(
+            "module m(input clk, input [3:0] a, output [3:0] y); assign y = ~a; endmodule", "m"
+        )
+        analysis = compute_fanout_classes(module)
+        assert analysis.placement["y"] == 1
+
+    def test_explicit_input_selection(self, counter_module):
+        analysis = compute_fanout_classes(counter_module, inputs=["en"])
+        assert "u_cnt.cnt" in analysis.distance
+
+    def test_proved_in_class(self, pipeline_module):
+        analysis = compute_fanout_classes(pipeline_module)
+        assert analysis.proved_in_class(2) == {"s2", "dout"}
+
+    def test_placement_depth_at_least_depth(self, pipeline_module):
+        analysis = compute_fanout_classes(pipeline_module)
+        assert analysis.placement_depth >= analysis.depth

@@ -1,0 +1,98 @@
+"""Tests for configuration objects, report rendering and the error hierarchy."""
+
+import pytest
+
+from repro.core import DetectionConfig, Verdict, Waiver, detect_trojans
+from repro.core.report import DetectionReport
+from repro.errors import (
+    BitblastError,
+    DesignError,
+    ElaborationError,
+    PropertyError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnsupportedFeatureError,
+    VerilogSyntaxError,
+)
+
+
+class TestDetectionConfig:
+    def test_defaults(self):
+        config = DetectionConfig()
+        assert config.cumulative_assumptions
+        assert config.assume_inputs_at_prove_time
+        assert config.stop_at_first_failure
+        assert config.inputs is None
+        assert config.waivers == []
+
+    def test_waived_signals(self):
+        config = DetectionConfig(waivers=[Waiver("a"), Waiver("b", "why")])
+        assert config.waived_signals() == ["a", "b"]
+
+    def test_with_waivers_returns_extended_copy(self):
+        base = DetectionConfig(waivers=[Waiver("a")])
+        extended = base.with_waivers("b", "c", reason="review")
+        assert base.waived_signals() == ["a"]
+        assert extended.waived_signals() == ["a", "b", "c"]
+        assert extended.waivers[-1].reason == "review"
+
+    def test_waiver_is_frozen(self):
+        waiver = Waiver("x")
+        with pytest.raises(Exception):
+            waiver.signal = "y"  # type: ignore[misc]
+
+
+class TestDetectionReport:
+    def test_report_fields_for_secure_run(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        assert isinstance(report, DetectionReport)
+        assert report.design == "pipe"
+        assert report.verdict is Verdict.SECURE
+        assert report.failing_outcome() is None
+        assert str(report)
+
+    def test_property_runtime_map_labels(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        labels = set(report.property_runtimes())
+        assert labels == {"init property", "fanout property 1"}
+
+    def test_summary_mentions_spurious_when_present(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        report.spurious_resolved = 3
+        assert "spurious" in report.summary()
+
+    def test_verdict_str(self):
+        assert str(Verdict.SECURE) == "secure"
+        assert str(Verdict.TROJAN_SUSPECTED) == "trojan-suspected"
+
+    def test_outcome_labels(self, trojaned_module):
+        report = detect_trojans(trojaned_module)
+        assert report.outcomes[0].label == "init property"
+        assert report.outcomes[-1].label.startswith("fanout property")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            VerilogSyntaxError,
+            ElaborationError,
+            UnsupportedFeatureError,
+            BitblastError,
+            SolverError,
+            PropertyError,
+            SimulationError,
+            DesignError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_syntax_error_carries_location(self):
+        error = VerilogSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error) and "col 7" in str(error)
+        assert error.line == 3 and error.column == 7
+
+    def test_syntax_error_without_location(self):
+        assert "bad" in str(VerilogSyntaxError("bad"))

@@ -1,0 +1,107 @@
+"""Simulation evidence that the regenerated Trojans are *real*.
+
+For representative benchmarks, these tests drive the exact trigger condition
+in simulation and observe the payload firing — confirming that the designs
+the detection flow flags do contain functioning malicious logic, and that the
+trigger conditions are rare enough that ordinary stimuli never activate them
+(the premise of Sec. III).
+"""
+
+import pytest
+
+from repro.crypto.aes_ref import aes128_encrypt_block
+from repro.sim import Simulator
+from repro.trusthub import load_module
+from repro.trusthub.aes_core import AES_LATENCY
+from repro.trusthub.aes_trojans import AES_TROJAN_SPECS
+
+
+class TestSequenceTriggerActivation:
+    def test_t1400_psc_payload_fires_after_magic_sequence(self):
+        spec = AES_TROJAN_SPECS["AES-T1400"]
+        module = load_module("AES-T1400")
+        simulator = Simulator(module)
+        key = 0x000102030405060708090A0B0C0D0E0F
+
+        # Benign traffic: the payload shift register stays idle (all zero).
+        for value in range(8):
+            simulator.step({"state": value, "key": key})
+        assert simulator.state()["tj_psc_shift"] == 0
+
+        # Feed the magic plaintext sequence the trigger FSM waits for.
+        for magic in spec.trigger.sequence:
+            simulator.step({"state": magic, "key": key})
+        assert simulator.state()["tj_seq_state"] == len(spec.trigger.sequence)
+
+        # Once triggered, the power-side-channel shift register starts
+        # shifting key-dependent bits: switching activity = leakage.
+        activity = 0
+        for cycle in range(16):
+            simulator.step({"state": cycle, "key": key | 1})
+            activity |= simulator.state()["tj_psc_shift"]
+        assert activity != 0
+
+    def test_t1400_functional_behaviour_unchanged_even_when_triggered(self):
+        # The PSC payload leaks through power, not through the ciphertext:
+        # even a triggered Trojan produces correct encryptions (stealthy).
+        spec = AES_TROJAN_SPECS["AES-T1400"]
+        module = load_module("AES-T1400")
+        simulator = Simulator(module)
+        key = 0x2B7E151628AED2A6ABF7158809CF4F3C
+        for magic in spec.trigger.sequence:
+            simulator.step({"state": magic, "key": key})
+        plaintext = 0x3243F6A8885A308D313198A2E0370734
+        values = {}
+        for _ in range(AES_LATENCY):
+            values = simulator.step({"state": plaintext, "key": key})
+        assert values["out"] == aes128_encrypt_block(plaintext, key)
+
+
+class TestCounterTriggerActivation:
+    def test_t1900_beacon_toggles_without_any_input_activity(self):
+        spec = AES_TROJAN_SPECS["AES-T1900"]
+        module = load_module("AES-T1900")
+        simulator = Simulator(module)
+        # Below the threshold the battery-draining toggle bank is idle.
+        for _ in range(8):
+            simulator.step({"state": 0, "key": 0})
+        assert simulator.state()["tj_dos_toggle"] == 0
+        # Fast-forward the free-running cycle counter right to its threshold
+        # (equivalent to waiting 2^19 cycles); the payload then switches even
+        # though the IP inputs never change.
+        simulator.set_state({"tj_cyc_count": spec.trigger.threshold})
+        simulator.step({"state": 0, "key": 0})
+        assert simulator.state()["tj_dos_toggle"] != 0
+
+    def test_t2600_value_counter_advances_only_on_magic_value(self):
+        module = load_module("AES-T2600")
+        simulator = Simulator(module)
+        for _ in range(10):
+            simulator.step({"state": 0x11, "key": 0})
+        assert simulator.state()["tj_val_count"] == 0
+        # 0xa5 in the low plaintext byte propagates down the delay line and
+        # increments the value counter exactly once per occurrence.
+        simulator.step({"state": 0xA5, "key": 0})
+        for _ in range(12):
+            simulator.step({"state": 0x00, "key": 0})
+        assert simulator.state()["tj_val_count"] == 1
+
+
+class TestRsaLeakActivation:
+    def test_t300_leaks_exponent_after_enough_encryptions(self):
+        from repro.trusthub.rsa_core import RSA_LATENCY
+        from repro.trusthub.rsa_trojans import RSA_TROJAN_SPECS
+
+        spec = RSA_TROJAN_SPECS["BasicRSA-T300"]
+        module = load_module("BasicRSA-T300")
+        simulator = Simulator(module)
+        secret_exponent = 0x2F
+        stimulus = {"ds": 1, "indata": 1234, "inExp": secret_exponent, "inMod": 3233}
+        observed = []
+        for _ in range(spec.threshold + RSA_LATENCY + 2):
+            observed.append(simulator.step(stimulus)["cypher"])
+        # While the encryption counter sits on the threshold value, the cypher
+        # output carries the private exponent instead of the ciphertext.
+        assert secret_exponent in observed
+        # Before the threshold is reached the output never shows the exponent.
+        assert secret_exponent not in observed[: spec.threshold - 1]

@@ -1,0 +1,86 @@
+"""Tests for repro.utils.timing and repro.utils.graphs."""
+
+import time
+
+import networkx as nx
+import pytest
+
+from repro.utils.graphs import bfs_distances, find_cycle, reachable_from, topological_order
+from repro.utils.timing import PeakMemoryTracker, Stopwatch
+
+
+class TestStopwatch:
+    def test_records_named_duration(self):
+        watch = Stopwatch()
+        with watch.time("proof"):
+            time.sleep(0.01)
+        assert len(watch.durations("proof")) == 1
+        assert watch.durations("proof")[0] >= 0.005
+
+    def test_total_accumulates(self):
+        watch = Stopwatch()
+        watch.record("a", 1.0)
+        watch.record("a", 2.0)
+        watch.record("b", 0.5)
+        assert watch.total("a") == pytest.approx(3.0)
+        assert watch.total() == pytest.approx(3.5)
+
+    def test_names(self):
+        watch = Stopwatch()
+        watch.record("x", 0.1)
+        assert watch.names() == ["x"]
+
+    def test_unknown_name_empty(self):
+        assert Stopwatch().durations("missing") == []
+
+
+class TestPeakMemoryTracker:
+    def test_tracks_allocation(self):
+        with PeakMemoryTracker() as tracker:
+            data = bytearray(4 * 1024 * 1024)
+            del data
+        assert tracker.peak_bytes >= 4 * 1024 * 1024
+        assert tracker.peak_megabytes >= 4.0
+
+    def test_nested_tracking_does_not_crash(self):
+        with PeakMemoryTracker() as outer:
+            with PeakMemoryTracker() as inner:
+                _ = list(range(1000))
+        assert inner.peak_bytes >= 0
+        assert outer.peak_bytes >= 0
+
+
+class TestGraphHelpers:
+    def _chain(self):
+        graph = nx.DiGraph()
+        graph.add_edges_from([("a", "b"), ("b", "c"), ("c", "d"), ("x", "c")])
+        return graph
+
+    def test_reachable_from_single_source(self):
+        assert reachable_from(self._chain(), ["a"]) == {"a", "b", "c", "d"}
+
+    def test_reachable_from_ignores_unknown_sources(self):
+        assert reachable_from(self._chain(), ["nope"]) == set()
+
+    def test_bfs_distances(self):
+        distances = bfs_distances(self._chain(), ["a"])
+        assert distances == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_bfs_distances_multiple_sources_take_minimum(self):
+        distances = bfs_distances(self._chain(), ["a", "x"])
+        assert distances["c"] == 1
+        assert distances["d"] == 2
+
+    def test_topological_order_respects_edges(self):
+        order = topological_order(self._chain())
+        assert order.index("a") < order.index("b") < order.index("c") < order.index("d")
+
+    def test_find_cycle_on_dag_is_empty(self):
+        assert find_cycle(self._chain()) == []
+
+    def test_find_cycle_detects_loop(self):
+        graph = self._chain()
+        graph.add_edge("d", "a")
+        cycle = find_cycle(graph)
+        assert set(cycle) <= {"a", "b", "c", "d"}
+        assert cycle

@@ -1,0 +1,93 @@
+"""Tests for VCD export and counterexample replay."""
+
+import io
+
+import pytest
+
+from repro.core import TrojanDetectionFlow, replay_counterexample
+from repro.sim import Simulator, Trace, trace_to_vcd_string, write_vcd
+from repro.trusthub import load_design, load_module
+from repro.core import DetectionConfig
+
+
+class TestVcdWriter:
+    def _trace(self, pipeline_module):
+        simulator = Simulator(pipeline_module)
+        return simulator.run([{"din": value} for value in (1, 2, 3, 2)])
+
+    def test_header_and_variables(self, pipeline_module):
+        text = trace_to_vcd_string(self._trace(pipeline_module), pipeline_module.signals)
+        assert "$timescale" in text
+        assert "$var wire 8" in text and "dout" in text
+        assert "$enddefinitions" in text
+
+    def test_value_changes_only_on_change(self, pipeline_module):
+        trace = Trace()
+        trace.record({"dout": 5})
+        trace.record({"dout": 5})
+        trace.record({"dout": 6})
+        text = trace_to_vcd_string(trace, {"dout": 8})
+        assert text.count("b00000101 ") == 1
+        assert text.count("b00000110 ") == 1
+
+    def test_single_bit_format(self):
+        trace = Trace()
+        trace.record({"flag": 1})
+        trace.record({"flag": 0})
+        text = trace_to_vcd_string(trace, {"flag": 1})
+        lines = [line for line in text.splitlines() if line and line[0] in "01"]
+        assert lines[0].startswith("1") and lines[1].startswith("0")
+
+    def test_signal_subset(self, pipeline_module):
+        text = trace_to_vcd_string(
+            self._trace(pipeline_module), pipeline_module.signals, signals=["dout"]
+        )
+        assert "dout" in text and "s1" not in text.split("$enddefinitions")[0].replace("dout", "")
+
+    def test_hierarchical_names_are_sanitised(self, counter_module):
+        simulator = Simulator(counter_module)
+        trace = simulator.run([{"rst": 0, "en": 1}] * 3)
+        text = trace_to_vcd_string(trace, counter_module.signals, signals=["u_cnt.cnt"])
+        assert "u_cnt_cnt" in text
+
+    def test_empty_trace_rejected(self, pipeline_module):
+        with pytest.raises(ValueError):
+            write_vcd(Trace(), pipeline_module.signals, io.StringIO())
+
+    def test_write_to_file(self, tmp_path, pipeline_module):
+        path = tmp_path / "wave.vcd"
+        with open(path, "w", encoding="utf-8") as handle:
+            write_vcd(self._trace(pipeline_module), pipeline_module.signals, handle)
+        assert path.read_text().startswith("$date")
+
+
+class TestCounterexampleReplay:
+    def test_replay_confirms_toy_trojan(self, trojaned_module):
+        flow = TrojanDetectionFlow(trojaned_module)
+        report = flow.run()
+        assert report.counterexample is not None
+        outcome = report.failing_outcome()
+        replay = replay_counterexample(trojaned_module, outcome.result.prop, report.counterexample)
+        assert replay.confirmed
+        signals = [entry[0] for entry in replay.divergent_signals]
+        assert "dout" in signals
+        assert "confirmed" in replay.summary()
+        assert len(replay.traces[0]) == len(replay.traces[1])
+
+    def test_replay_traces_can_be_dumped_as_vcd(self, trojaned_module):
+        flow = TrojanDetectionFlow(trojaned_module)
+        report = flow.run()
+        outcome = report.failing_outcome()
+        replay = replay_counterexample(trojaned_module, outcome.result.prop, report.counterexample)
+        text = trace_to_vcd_string(replay.traces[0], trojaned_module.signals)
+        assert "$enddefinitions" in text
+
+    def test_replay_confirms_aes_t1400(self):
+        design = load_design("AES-T1400")
+        module = load_module("AES-T1400")
+        flow = TrojanDetectionFlow(module, DetectionConfig(inputs=list(design.data_inputs)))
+        report = flow.run()
+        outcome = report.failing_outcome()
+        replay = replay_counterexample(module, outcome.result.prop, report.counterexample)
+        assert replay.confirmed
+        assert any(signal.startswith("tj_") for signal, *_ in replay.divergent_signals)

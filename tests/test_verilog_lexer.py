@@ -1,0 +1,112 @@
+"""Tests for the Verilog tokeniser."""
+
+import pytest
+
+from repro.errors import VerilogSyntaxError
+from repro.verilog.lexer import Lexer, TokenKind, parse_based_literal
+
+
+def tokens_of(source):
+    return [t for t in Lexer(source).tokenize() if t.kind != TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_keywords_and_identifiers(self):
+        kinds = [t.kind for t in tokens_of("module foo;")]
+        assert kinds == [TokenKind.KEYWORD, TokenKind.IDENT, TokenKind.PUNCT]
+
+    def test_identifier_with_dollar_and_digits(self):
+        token = tokens_of("sig_1$x")[0]
+        assert token.kind == TokenKind.IDENT
+        assert token.text == "sig_1$x"
+
+    def test_escaped_identifier(self):
+        token = tokens_of(r"\weird[0] ")[0]
+        assert token.kind == TokenKind.IDENT
+        assert token.text == "weird[0]"
+
+    def test_operators_longest_match(self):
+        texts = [t.text for t in tokens_of("a <<< b <= c == d")]
+        assert "<<<" in texts and "<=" in texts and "==" in texts
+
+    def test_punctuation(self):
+        texts = [t.text for t in tokens_of("(a, b); [7:0] {x}")]
+        for expected in ["(", ")", ",", ";", "[", ":", "]", "{", "}"]:
+            assert expected in texts
+
+    def test_eof_token_present(self):
+        assert Lexer("").tokenize()[-1].kind == TokenKind.EOF
+
+    def test_string_literal(self):
+        token = tokens_of('"hello world"')[0]
+        assert token.kind == TokenKind.STRING
+        assert token.text == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokens_of('"unterminated')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokens_of("a £ b")
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        token = tokens_of("42")[0]
+        assert token.kind == TokenKind.NUMBER
+
+    def test_sized_hex(self):
+        token = tokens_of("8'hFF")[0]
+        assert token.kind == TokenKind.BASED_NUMBER
+
+    def test_sized_binary_with_underscores(self):
+        token = tokens_of("16'b1010_1010_0000_1111")[0]
+        assert token.kind == TokenKind.BASED_NUMBER
+
+    def test_unsized_based(self):
+        token = tokens_of("'d100")[0]
+        assert token.kind == TokenKind.BASED_NUMBER
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert [t.text for t in tokens_of("a // comment\n b")] == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert [t.text for t in tokens_of("a /* multi\nline */ b")] == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(VerilogSyntaxError):
+            tokens_of("a /* never closed")
+
+    def test_compiler_directive_skipped(self):
+        assert [t.text for t in tokens_of("`timescale 1ns/1ps\nmodule")] == ["module"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokens_of("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestBasedLiteralDecoding:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("8'hFF", (8, 0xFF)),
+            ("4'b1010", (4, 0b1010)),
+            ("12'o777", (12, 0o777)),
+            ("10'd1023", (10, 1023)),
+            ("'h1A", (None, 0x1A)),
+            ("8'hzz", (8, 0)),
+            ("4'b1x1?", (4, 0b1010 & 0b1010)),
+            ("2'd7", (2, 3)),  # value truncated to the declared width
+        ],
+    )
+    def test_decoding(self, text, expected):
+        assert parse_based_literal(text) == expected
+
+    def test_signed_marker_ignored(self):
+        assert parse_based_literal("8'sh7f") == (8, 0x7F)

@@ -1,0 +1,253 @@
+"""Tests for the Verilog parser."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError, VerilogSyntaxError
+from repro.verilog import ast
+from repro.verilog.parser import parse_source
+
+
+def single_module(source):
+    parsed = parse_source(source)
+    assert len(parsed.modules) == 1
+    return parsed.modules[0]
+
+
+class TestModuleHeaders:
+    def test_ansi_ports(self):
+        module = single_module("module m(input clk, input [7:0] d, output reg [3:0] q); endmodule")
+        directions = {p.name: p.direction for p in module.ports}
+        assert directions == {"clk": "input", "d": "input", "q": "output"}
+        q = next(p for p in module.ports if p.name == "q")
+        assert q.is_reg
+
+    def test_non_ansi_ports(self):
+        module = single_module(
+            "module m(a, b, y); input a; input b; output [3:0] y; endmodule"
+        )
+        assert module.port_order == ["a", "b", "y"]
+        assert {p.name for p in module.ports} == {"a", "b", "y"}
+
+    def test_shared_direction_in_header(self):
+        module = single_module("module m(input a, b, output y); endmodule")
+        directions = [p.direction for p in module.ports]
+        assert directions == ["input", "input", "output"]
+
+    def test_empty_port_list(self):
+        module = single_module("module m(); endmodule")
+        assert module.ports == []
+
+    def test_parameter_port_list(self):
+        module = single_module("module m #(parameter W = 8, D = 2) (input [W-1:0] a); endmodule")
+        params = {p.name for p in module.parameters()}
+        assert params == {"W", "D"}
+
+    def test_multiple_modules(self):
+        parsed = parse_source("module a; endmodule module b; endmodule")
+        assert [m.name for m in parsed.modules] == ["a", "b"]
+
+    def test_missing_endmodule_raises(self):
+        with pytest.raises(VerilogSyntaxError):
+            parse_source("module m(input a);")
+
+
+class TestDeclarationsAndAssigns:
+    def test_wire_and_reg_declarations(self):
+        module = single_module("module m; wire [7:0] w1, w2; reg r; endmodule")
+        kinds = {d.names: d.kind for d in module.items if isinstance(d, ast.NetDecl)}
+        assert kinds == {("w1", "w2"): "wire", ("r",): "reg"}
+
+    def test_wire_with_initialiser_creates_assign(self):
+        module = single_module("module m; wire [3:0] w = 4'h5; endmodule")
+        assigns = [item for item in module.items if isinstance(item, ast.ContinuousAssign)]
+        assert len(assigns) == 1
+        assert isinstance(assigns[0].rhs, ast.Number)
+
+    def test_reg_initialiser_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source("module m; reg r = 1'b0; endmodule")
+
+    def test_memory_array_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source("module m; reg [7:0] mem [0:255]; endmodule")
+
+    def test_continuous_assign(self):
+        module = single_module("module m(output y, input a, b); assign y = a & b; endmodule")
+        assigns = [item for item in module.items if isinstance(item, ast.ContinuousAssign)]
+        assert len(assigns) == 1
+        assert isinstance(assigns[0].rhs, ast.Binary)
+
+    def test_localparam(self):
+        module = single_module("module m; localparam STATE = 3; endmodule")
+        assert module.parameters()[0].local
+
+    def test_initial_block_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source("module m; initial begin end endmodule")
+
+    def test_generate_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse_source("module m; generate endgenerate endmodule")
+
+
+class TestAlwaysBlocks:
+    def test_sequential_always(self):
+        module = single_module(
+            "module m(input clk, input d); reg q; always @(posedge clk) q <= d; endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert not always.is_combinational
+        assert always.events[0].edge == "posedge"
+
+    def test_async_reset_sensitivity(self):
+        module = single_module(
+            "module m(input clk, input rst); reg q;"
+            " always @(posedge clk or posedge rst) if (rst) q <= 0; else q <= 1; endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert [e.signal for e in always.events] == ["clk", "rst"]
+
+    def test_combinational_star(self):
+        module = single_module("module m(input a, output reg y); always @(*) y = a; endmodule")
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert always.is_combinational
+
+    def test_level_sensitivity_list_is_combinational(self):
+        module = single_module(
+            "module m(input a, input b, output reg y); always @(a or b) y = a & b; endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert always.is_combinational
+
+    def test_if_else_chain(self):
+        module = single_module(
+            "module m(input clk, input [1:0] s); reg [1:0] q;"
+            " always @(posedge clk) if (s == 2'd0) q <= 1; else if (s == 2'd1) q <= 2; else q <= 3;"
+            " endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert isinstance(always.body, ast.If)
+        assert isinstance(always.body.otherwise, ast.If)
+
+    def test_case_with_default(self):
+        module = single_module(
+            "module m(input clk, input [1:0] s); reg [3:0] q;"
+            " always @(posedge clk) case (s) 2'd0: q <= 1; 2'd1, 2'd2: q <= 2; default: q <= 0; endcase"
+            " endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        case = always.body
+        assert isinstance(case, ast.Case)
+        assert len(case.items) == 3
+        assert case.items[1].labels and len(case.items[1].labels) == 2
+        assert case.items[2].labels == ()
+
+    def test_begin_end_block(self):
+        module = single_module(
+            "module m(input clk, input d); reg a; reg b;"
+            " always @(posedge clk) begin a <= d; b <= a; end endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert isinstance(always.body, ast.Block)
+        assert len(always.body.statements) == 2
+
+    def test_blocking_vs_nonblocking(self):
+        module = single_module(
+            "module m(input a, output reg y); always @(*) y = a; endmodule"
+        )
+        always = next(item for item in module.items if isinstance(item, ast.Always))
+        assert always.body.blocking
+
+
+class TestInstances:
+    def test_named_connections(self):
+        module = single_module(
+            "module top(input clk); child u1 (.clk(clk), .q(), .d(1'b0)); endmodule"
+        )
+        instance = module.instances()[0]
+        assert instance.module == "child"
+        assert instance.name == "u1"
+        ports = {c.port for c in instance.connections}
+        assert ports == {"clk", "q", "d"}
+        q_connection = next(c for c in instance.connections if c.port == "q")
+        assert q_connection.expr is None
+
+    def test_positional_connections(self):
+        module = single_module("module top(input a, input b, output y); andgate u (a, b, y); endmodule")
+        instance = module.instances()[0]
+        assert all(c.port is None for c in instance.connections)
+        assert len(instance.connections) == 3
+
+    def test_parameter_overrides(self):
+        module = single_module("module top; child #(.W(16), .D(3)) u (); endmodule")
+        instance = module.instances()[0]
+        assert dict((name, value.value) for name, value in instance.parameters) == {"W": 16, "D": 3}
+
+    def test_positional_parameter_overrides(self):
+        module = single_module("module top; child #(16) u (); endmodule")
+        assert module.instances()[0].parameters[0][0] is None
+
+
+class TestExpressions:
+    def _rhs(self, expression):
+        module = single_module(f"module m; assign y = {expression}; endmodule")
+        return next(item for item in module.items if isinstance(item, ast.ContinuousAssign)).rhs
+
+    def test_precedence_mul_over_add(self):
+        expr = self._rhs("a + b * c")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_precedence_and_over_or(self):
+        expr = self._rhs("a | b & c")
+        assert expr.op == "|"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "&"
+
+    def test_comparison_precedence(self):
+        expr = self._rhs("a == b & c")
+        # '&' binds weaker than '==' in Verilog
+        assert expr.op == "&"
+        assert isinstance(expr.left, ast.Binary) and expr.left.op == "=="
+
+    def test_ternary(self):
+        expr = self._rhs("sel ? a : b")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_nested_ternary_right_associative(self):
+        expr = self._rhs("s1 ? a : s2 ? b : c")
+        assert isinstance(expr.otherwise, ast.Ternary)
+
+    def test_concat(self):
+        expr = self._rhs("{a, b, 2'b01}")
+        assert isinstance(expr, ast.Concat)
+        assert len(expr.parts) == 3
+
+    def test_replication(self):
+        expr = self._rhs("{4{a}}")
+        assert isinstance(expr, ast.Repeat)
+
+    def test_replication_of_concat(self):
+        expr = self._rhs("{2{a, b}}")
+        assert isinstance(expr, ast.Repeat)
+        assert isinstance(expr.value, ast.Concat)
+
+    def test_bit_select_and_part_select(self):
+        expr = self._rhs("a[3] ^ b[7:4]")
+        assert isinstance(expr.left, ast.Index)
+        assert isinstance(expr.right, ast.RangeSelect)
+
+    def test_unary_reduction(self):
+        expr = self._rhs("^a")
+        assert isinstance(expr, ast.Unary) and expr.op == "^"
+
+    def test_parenthesised_select(self):
+        expr = self._rhs("(a ^ b)[3:0]")
+        assert isinstance(expr, ast.RangeSelect)
+
+    def test_expr_identifiers_helper(self):
+        expr = self._rhs("(a & b) | c[3]")
+        assert ast.expr_identifiers(expr) == {"a", "b", "c"}
+
+    def test_missing_operand_raises(self):
+        with pytest.raises(VerilogSyntaxError):
+            parse_source("module m; assign y = a + ; endmodule")
