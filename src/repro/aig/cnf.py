@@ -22,6 +22,10 @@ class Cnf:
         self.num_vars += 1
         return self.num_vars
 
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
 
 class CnfBuilder:
     """Incrementally encodes AIG nodes into a CNF formula.

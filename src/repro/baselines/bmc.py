@@ -6,6 +6,13 @@ design under test is unrolled for ``k`` cycles from its reset state next to a
 input sequence, and a SAT solver searches for an input sequence that makes
 any common output differ within the bound.
 
+The checker is *incremental*: the unrolled frames, the Tseitin encoding and
+the SAT solver state all persist across :meth:`BoundedTrojanChecker.check`
+calls, so checking bound ``k+1`` after bound ``k`` only encodes the one new
+transition frame and reuses every clause (and everything the solver learned)
+from the earlier bounds.  The per-bound miter is passed as a solver
+assumption, never asserted permanently.
+
 This baseline exposes the two limitations the paper addresses:
 
 * it needs a golden model (the paper's method does not), and
@@ -18,14 +25,13 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.aig.aig import AIG, FALSE
-from repro.aig.cnf import CnfBuilder
 from repro.errors import DesignError
 from repro.ipc.transition import SymbolicFrame, TransitionEncoder
 from repro.rtl.ir import Module
-from repro.sat.solver import SatSolver
+from repro.sat.context import SolverContext
 
 
 @dataclass
@@ -38,6 +44,9 @@ class BmcResult:
     failing_signals: List[str] = field(default_factory=list)
     runtime_seconds: float = 0.0
     sat_conflicts: int = 0
+    # Incremental-reuse accounting of this check against the shared context.
+    cnf_new_clauses: int = 0
+    cnf_reused_clauses: int = 0
 
     def summary(self) -> str:
         if self.trojan_detected:
@@ -49,13 +58,18 @@ class BmcResult:
 
 
 class BoundedTrojanChecker:
-    """Bounded equivalence of a design against a golden RTL model."""
+    """Bounded equivalence of a design against a golden RTL model.
+
+    One checker instance owns a persistent unrolling and solver context;
+    repeated :meth:`check` calls with growing bounds reuse all earlier work.
+    """
 
     def __init__(
         self,
         design: Module,
         golden: Module,
         reset_values: Optional[Dict[str, int]] = None,
+        solver_backend: str = "auto",
     ) -> None:
         self._design = design
         self._golden = golden
@@ -63,6 +77,18 @@ class BoundedTrojanChecker:
         missing = [name for name in golden.inputs if name not in design.inputs]
         if missing:
             raise DesignError(f"golden model inputs missing from the design: {missing}")
+        self._aig = AIG()
+        self._design_encoder = TransitionEncoder(design, self._aig)
+        self._golden_encoder = TransitionEncoder(golden, self._aig)
+        self._context = SolverContext(self._aig, backend=solver_backend)
+        self._design_frames: List[SymbolicFrame] = []
+        self._golden_frames: List[SymbolicFrame] = []
+        # Per-cycle difference literals, cached by (cycle, output name).
+        self._differences: Dict[Tuple[int, str], int] = {}
+
+    @property
+    def solver_context(self) -> SolverContext:
+        return self._context
 
     def _reset_value(self, module: Module, register: str) -> int:
         if register in self._reset_values:
@@ -81,68 +107,86 @@ class BoundedTrojanChecker:
             )
         return frame
 
+    def _share_inputs_at(self, frame_index: int) -> None:
+        """Feed both models the same symbolic inputs at one time point."""
+        for name in self._golden.inputs:
+            if name in self._golden.clocks:
+                continue
+            shared = self._design_frames[frame_index].leaf_vector(name)
+            if not self._golden_frames[frame_index].is_bound(name):
+                self._golden_frames[frame_index].bind_leaf(name, shared)
+
+    def _unroll_to(self, bound: int) -> None:
+        """Extend the persistent unrolling of both models to ``bound`` cycles."""
+        if not self._design_frames:
+            self._design_frames.append(self._initial_frame(self._design_encoder, self._design, "dut@0"))
+            self._golden_frames.append(self._initial_frame(self._golden_encoder, self._golden, "gold@0"))
+        for cycle in range(len(self._design_frames), bound + 1):
+            self._share_inputs_at(cycle - 1)
+            self._design_frames.append(
+                self._design_encoder.step(self._design_frames[-1], f"dut@{cycle}")
+            )
+            self._golden_frames.append(
+                self._golden_encoder.step(self._golden_frames[-1], f"gold@{cycle}")
+            )
+
+    def _difference_literal(self, cycle: int, name: str) -> int:
+        key = (cycle, name)
+        literal = self._differences.get(key)
+        if literal is None:
+            blaster = self._design_encoder.blaster
+            left = self._design_frames[cycle].vector_of(name)
+            right = self._golden_frames[cycle].vector_of(name)
+            literal = self._aig.not_(blaster.equal_vectors(left, right))
+            self._differences[key] = literal
+        return literal
+
     def check(self, bound: int, checked_outputs: Optional[List[str]] = None) -> BmcResult:
         """Search for an input sequence of length ``bound`` that separates the
         design from the golden model on any common output."""
         started = _time.perf_counter()
-        aig = AIG()
-        design_encoder = TransitionEncoder(self._design, aig)
-        golden_encoder = TransitionEncoder(self._golden, aig)
-        blaster = design_encoder.blaster
-
         common_outputs = checked_outputs or [
             name for name in self._design.outputs if name in self._golden.outputs
         ]
 
-        design_frames = [self._initial_frame(design_encoder, self._design, "dut@0")]
-        golden_frames = [self._initial_frame(golden_encoder, self._golden, "gold@0")]
-        difference_by_cycle: List[List] = []
+        self._unroll_to(bound)
+        # Outputs with a combinational input path sample the input at the
+        # compared cycle itself, so the topmost frame must be shared too —
+        # and before any difference cone materialises an unshared leaf.
+        self._share_inputs_at(bound)
+        difference_by_cycle: List[List[Tuple[str, int]]] = []
         for cycle in range(1, bound + 1):
-            previous = cycle - 1
-            # Same symbolic inputs for both models at the previous time point.
-            for name in self._golden.inputs:
-                if name in self._golden.clocks:
-                    continue
-                shared = design_frames[previous].leaf_vector(name)
-                if not golden_frames[previous].is_bound(name):
-                    golden_frames[previous].bind_leaf(name, shared)
-            design_frames.append(design_encoder.step(design_frames[-1], f"dut@{cycle}"))
-            golden_frames.append(golden_encoder.step(golden_frames[-1], f"gold@{cycle}"))
-            differences = []
-            for name in common_outputs:
-                left = design_frames[cycle].vector_of(name)
-                right = golden_frames[cycle].vector_of(name)
-                differences.append((name, aig.not_(blaster.equal_vectors(left, right))))
-            difference_by_cycle.append(differences)
+            difference_by_cycle.append(
+                [(name, self._difference_literal(cycle, name)) for name in common_outputs]
+            )
 
         all_differences = [literal for cycle in difference_by_cycle for _, literal in cycle]
-        miter = aig.or_many(all_differences)
+        miter = self._aig.or_many(all_differences)
         result = BmcResult(bound=bound, trojan_detected=False)
         if miter == FALSE:
             result.runtime_seconds = _time.perf_counter() - started
             return result
 
-        builder = CnfBuilder(aig)
-        goal = builder.literal_of(miter)
-        solver = SatSolver()
-        for clause in builder.cnf.clauses:
-            solver.add_clause(clause)
-        solver.ensure_vars(builder.cnf.num_vars)
-        solver.add_clause([goal])
-        sat_result = solver.solve()
-        result.sat_conflicts = sat_result.conflicts
-        if sat_result.satisfiable:
+        goal = self._context.literal_of(miter)
+        outcome = self._context.solve([goal])
+        result.sat_conflicts = outcome.result.conflicts
+        result.cnf_new_clauses = outcome.new_clauses
+        result.cnf_reused_clauses = outcome.reused_clauses
+        if outcome.satisfiable:
             result.trojan_detected = True
+            model = outcome.result.model
             input_values = {}
-            for node in aig.inputs():
-                literal = builder.literal_of(node << 1)
-                variable = abs(literal)
-                if variable <= solver.num_vars:
-                    value = sat_result.value(variable)
-                    input_values[node] = int(value if literal > 0 else not value)
+            for node in self._aig.cone_nodes([miter]):
+                if not self._aig.is_input(node):
+                    continue
+                literal = self._context.literal_of(node << 1)
+                value = model.get(abs(literal))
+                if value is None:
+                    continue
+                input_values[node] = int(value if literal > 0 else not value)
             for cycle_index, differences in enumerate(difference_by_cycle, start=1):
                 for signal, literal in differences:
-                    if literal != FALSE and aig.evaluate([literal], input_values)[0]:
+                    if literal != FALSE and self._aig.evaluate([literal], input_values)[0]:
                         result.failing_signals.append(signal)
                         if result.failing_cycle is None:
                             result.failing_cycle = cycle_index

@@ -21,6 +21,7 @@ from typing import List, Optional
 from repro.core import DetectionConfig, Waiver, detect_trojans
 from repro.errors import ReproError
 from repro.rtl import elaborate_source
+from repro.sat import available_backends, default_backend_name
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not stop at the first failing property",
     )
+    parser.add_argument(
+        "--solver-backend",
+        default="auto",
+        choices=["auto"] + available_backends(),
+        help=f"SAT backend for the persistent solver context "
+             f"(default: auto = {default_backend_name()})",
+    )
     parser.add_argument("--verbose", "-v", action="store_true", help="print per-property results")
     return parser
 
@@ -73,6 +81,7 @@ def _config_from_args(args: argparse.Namespace, default_inputs=None, default_wai
         waivers=waivers,
         cumulative_assumptions=not args.strict_paper_properties,
         stop_at_first_failure=not args.check_all,
+        solver_backend=args.solver_backend,
     )
 
 
@@ -115,9 +124,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.verbose:
         for outcome in report.outcomes:
             status = "holds" if outcome.holds else "FAILS"
+            result = outcome.result
+            if result.solver_calls:
+                solving = (f"{result.cnf_new_clauses} new / "
+                           f"{result.cnf_reused_clauses} reused clauses")
+            else:
+                solving = "structural"
             print(f"  {outcome.label:24s} {status:6s} "
-                  f"({outcome.result.runtime_seconds:.2f} s, "
-                  f"{len(outcome.result.prop.commitments)} commitments)")
+                  f"({result.runtime_seconds:.2f} s, "
+                  f"{len(result.prop.commitments)} commitments, {solving})")
     print(report.summary())
     return 0 if report.is_secure else 1
 

@@ -53,6 +53,11 @@ class DetectionConfig:
     max_class:
         Optional upper bound on the number of fanout iterations, mainly for
         tests and for experimenting with truncated flows.
+    solver_backend:
+        SAT backend of the run's persistent solver context (see
+        :mod:`repro.sat.backend`).  ``"auto"`` (default) picks the fastest
+        installed backend; ``"python"`` forces the bundled CDCL solver;
+        ``"pysat"`` requires the python-sat package.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -61,6 +66,7 @@ class DetectionConfig:
     waivers: List[Waiver] = field(default_factory=list)
     stop_at_first_failure: bool = True
     max_class: Optional[int] = None
+    solver_backend: str = "auto"
 
     def waived_signals(self) -> List[str]:
         return [waiver.signal for waiver in self.waivers]
@@ -75,4 +81,5 @@ class DetectionConfig:
             waivers=new_waivers,
             stop_at_first_failure=self.stop_at_first_failure,
             max_class=self.max_class,
+            solver_backend=self.solver_backend,
         )

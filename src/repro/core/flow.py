@@ -1,24 +1,32 @@
-"""Algorithm 1: the iterative formal hardware-Trojan detection flow.
+"""Algorithm 1 as a batched property scheduler over a shared solver context.
 
-The flow checks the init property, then one fanout property per fanout class,
-and concludes with the structural signal-coverage check.  Every failing
-property yields a counterexample together with a diagnosis (Sec. V-B); causes
-that are provable by another property of the same run are resolved
-automatically by re-verification with strengthened assumptions, everything
-else is reported to the user.
+The flow builds one property per fanout class (plus the init property) and
+settles them in two phases over the engine's shared, structurally hashed AIG:
+
+1. *Structural phase* — every scheduled property is bit-blasted and
+   discharged on the AIG where possible.  No SAT solver is involved; in an
+   untampered design this phase settles every class.
+2. *SAT phase* — the remaining obligations run, in class order, against the
+   engine's persistent incremental solver context, so the CNF encoding and
+   everything the solver learned for one class is reused by the next.
+
+Every failing property yields a counterexample together with a diagnosis
+(Sec. V-B); causes that are provable by another property of the same run are
+resolved automatically by re-verification with strengthened assumptions,
+everything else is reported to the user.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DetectionConfig
 from repro.core.coverage import check_signal_coverage
 from repro.core.falsealarm import CexDiagnosis, diagnose_counterexample
 from repro.core.properties import build_fanout_property, build_init_property
 from repro.core.report import DetectionReport, PropertyOutcome, Verdict
-from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.ipc.engine import IpcEngine, PreparedCheck, PropertyCheckResult
 from repro.ipc.prop import IntervalProperty
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
@@ -26,7 +34,7 @@ from repro.rtl.netlist import DependencyGraph
 
 
 class TrojanDetectionFlow:
-    """Runs the iterative detection flow of Algorithm 1 on one module."""
+    """Runs the batched detection flow of Algorithm 1 on one module."""
 
     def __init__(self, module: Module, config: Optional[DetectionConfig] = None) -> None:
         self._module = module
@@ -35,7 +43,7 @@ class TrojanDetectionFlow:
         self._analysis = compute_fanout_classes(
             module, inputs=self._config.inputs, graph=self._graph
         )
-        self._engine = IpcEngine(module)
+        self._engine = IpcEngine(module, solver_backend=self._config.solver_backend)
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -74,18 +82,63 @@ class TrojanDetectionFlow:
         if self._config.max_class is not None:
             depth = min(depth, self._config.max_class)
 
+        # Phase 1 — structural pass over every scheduled class on the shared
+        # AIG.  Discharged classes are settled here without any SAT work;
+        # classes with remaining obligations queue up for the SAT phase.
+        outcomes: Dict[int, PropertyOutcome] = {}
+        sat_queue: List[Tuple[int, PreparedCheck]] = []
         for k in range(0, depth):
-            outcome = self._check_class(k)
-            report.outcomes.append(outcome)
-            report.spurious_resolved += outcome.resolved_spurious
+            kind = "init" if k == 0 else "fanout"
+            prop = self._build_property(k)
+            if not prop.commitments:
+                # Nothing to prove for this class; trivially holds.
+                outcomes[k] = PropertyOutcome(
+                    kind=kind,
+                    index=k,
+                    result=PropertyCheckResult(prop=prop, holds=True, structurally_proven=True),
+                )
+                continue
+            prepared = self._engine.begin_check(prop)
+            if prepared.discharged:
+                outcomes[k] = PropertyOutcome(
+                    kind=kind, index=k, result=self._engine.finish_check(prepared)
+                )
+            else:
+                sat_queue.append((k, prepared))
+
+        # Phase 2 — remaining SAT obligations, in class order, against the
+        # shared incremental solver context (with per-class spurious-CEX
+        # resolution exactly as in the one-at-a-time flow).
+        stopped_early = False
+        failed_class: Optional[int] = None
+        for k, prepared in sat_queue:
+            outcome = self._settle_with_sat(k, prepared)
+            outcomes[k] = outcome
             if not outcome.holds:
                 report.verdict = Verdict.TROJAN_SUSPECTED
                 report.detected_by = outcome.label
                 report.counterexample = outcome.result.cex
                 report.diagnosis = outcome.diagnosis
                 if self._config.stop_at_first_failure:
-                    report.total_runtime_seconds = _time.perf_counter() - started
-                    return report
+                    stopped_early = True
+                    failed_class = k
+                    break
+
+        # On an early stop, report the contiguous prefix up to the failing
+        # class (structural results beyond it were computed but never part of
+        # the verdict; SAT obligations beyond it were never attempted).
+        report.outcomes = [
+            outcomes[k]
+            for k in sorted(outcomes)
+            if failed_class is None or k <= failed_class
+        ]
+        report.spurious_resolved = sum(
+            outcome.resolved_spurious for outcome in report.outcomes
+        )
+        self._record_solver_stats(report)
+        if stopped_early:
+            report.total_runtime_seconds = _time.perf_counter() - started
+            return report
 
         # Coverage check (Algorithm 1, line 17): only meaningful when no
         # property already failed.
@@ -98,6 +151,16 @@ class TrojanDetectionFlow:
         report.total_runtime_seconds = _time.perf_counter() - started
         return report
 
+    def _record_solver_stats(self, report: DetectionReport) -> None:
+        context = self._engine.solver_context
+        report.solver_backend = context.backend_name
+        report.solver_calls = context.solve_calls
+        report.solver_conflicts = context.cumulative_conflicts
+        report.cnf_clauses = context.num_clauses
+        report.cnf_clauses_reused = sum(
+            outcome.result.cnf_reused_clauses for outcome in report.outcomes
+        )
+
     # ------------------------------------------------------------------ #
     # Per-class property checking with spurious-CEX resolution
     # ------------------------------------------------------------------ #
@@ -107,26 +170,24 @@ class TrojanDetectionFlow:
             return build_init_property(self._module, self._analysis, self._config)
         return build_fanout_property(self._module, self._analysis, k, self._config)
 
-    def _check_class(self, k: int) -> PropertyOutcome:
-        """Check the property of class ``k`` (0 = init property).
+    def _settle_with_sat(self, k: int, prepared: PreparedCheck) -> PropertyOutcome:
+        """Settle the SAT obligations of class ``k`` (0 = init property).
 
         If the property fails, the counterexample is diagnosed; when every
         cause is provable by another property of the run (Sec. V-B scenario 1)
         the property is re-verified with those equalities added.  Causes that
         would need engineering judgement are never assumed automatically.
+        Re-verification runs full checks against the same shared solver
+        context, so the strengthened property reuses all encoded clauses.
         """
         kind = "init" if k == 0 else "fanout"
-        prop = self._build_property(k)
+        prop = prepared.prop
         resolved = 0
         extra_assumptions: List[str] = []
         diagnosis: Optional[CexDiagnosis] = None
+        result = self._engine.finish_check(prepared)
 
         while True:
-            if extra_assumptions:
-                prop = self._build_property(k)
-                for signal in extra_assumptions:
-                    prop.assume_equal(signal, 0)
-            result = self._check_property(prop)
             if result.holds:
                 return PropertyOutcome(kind=kind, index=k, result=result, resolved_spurious=resolved)
             diagnosis = diagnose_counterexample(
@@ -141,6 +202,10 @@ class TrojanDetectionFlow:
                 if new_assumptions:
                     extra_assumptions.extend(new_assumptions)
                     resolved += 1
+                    prop = self._build_property(k)
+                    for signal in extra_assumptions:
+                        prop.assume_equal(signal, 0)
+                    result = self._engine.check(prop)
                     continue
             return PropertyOutcome(
                 kind=kind,
@@ -149,12 +214,6 @@ class TrojanDetectionFlow:
                 diagnosis=diagnosis,
                 resolved_spurious=resolved,
             )
-
-    def _check_property(self, prop: IntervalProperty) -> PropertyCheckResult:
-        if not prop.commitments:
-            # Nothing to prove for this class; report a trivially holding result.
-            return PropertyCheckResult(prop=prop, holds=True, structurally_proven=True)
-        return self._engine.check(prop)
 
 
 def detect_trojans(module: Module, config: Optional[DetectionConfig] = None) -> DetectionReport:

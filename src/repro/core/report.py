@@ -59,6 +59,12 @@ class DetectionReport:
     fanout_analysis: Optional[FanoutAnalysis] = None
     total_runtime_seconds: float = 0.0
     spurious_resolved: int = 0
+    # Incremental-solving statistics of the run's shared solver context.
+    solver_backend: str = ""
+    solver_calls: int = 0
+    solver_conflicts: int = 0
+    cnf_clauses: int = 0
+    cnf_clauses_reused: int = 0
 
     # ------------------------------------------------------------------ #
     # Convenience queries
@@ -89,6 +95,17 @@ class DetectionReport:
                 return outcome
         return None
 
+    def solver_stats(self) -> Dict[str, int]:
+        """Clause-reuse accounting of the run's shared solver context."""
+        new_clauses = sum(outcome.result.cnf_new_clauses for outcome in self.outcomes)
+        return {
+            "solver_calls": self.solver_calls,
+            "conflicts": self.solver_conflicts,
+            "clauses_encoded": self.cnf_clauses,
+            "clauses_new": new_clauses,
+            "clauses_reused": self.cnf_clauses_reused,
+        }
+
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
@@ -104,6 +121,13 @@ class DetectionReport:
         )
         if self.spurious_resolved:
             lines.append(f"  spurious counterexamples resolved: {self.spurious_resolved}")
+        if self.solver_calls:
+            stats = self.solver_stats()
+            lines.append(
+                f"  solver ({self.solver_backend}): {stats['solver_calls']} calls,"
+                f" {stats['clauses_new']} new / {stats['clauses_reused']} reused clauses,"
+                f" {stats['conflicts']} conflicts"
+            )
         if self.coverage is not None and not self.coverage.complete:
             lines.append("  " + self.coverage.summary().replace("\n", "\n  "))
         if self.counterexample is not None:

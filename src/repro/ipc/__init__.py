@@ -13,7 +13,7 @@ without ever duplicating the RTL description.
 """
 
 from repro.ipc.prop import IntervalProperty, Term, Equality
-from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.ipc.engine import IpcEngine, PreparedCheck, PropertyCheckResult
 from repro.ipc.cex import CounterExample
 from repro.ipc.transition import TransitionEncoder, SymbolicFrame
 
@@ -22,6 +22,7 @@ __all__ = [
     "Term",
     "Equality",
     "IpcEngine",
+    "PreparedCheck",
     "PropertyCheckResult",
     "CounterExample",
     "TransitionEncoder",

@@ -26,13 +26,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.aig.aig import FALSE, TRUE, negate
 from repro.aig.bitblast import Vector
-from repro.aig.cnf import CnfBuilder
 from repro.errors import PropertyError
 from repro.ipc.cex import CounterExample
 from repro.ipc.prop import Equality, IntervalProperty, Term
 from repro.ipc.transition import SymbolicFrame, TransitionEncoder
 from repro.rtl.ir import Module
-from repro.sat.solver import SatSolver
+from repro.sat.context import SolverContext
 from repro.utils.bitvec import from_bits
 
 
@@ -52,6 +51,14 @@ class PropertyCheckResult:
     cnf_clauses: int = 0
     merged_assumptions: int = 0
     clause_assumptions: int = 0
+    # Incremental-solving statistics: clauses newly encoded for this check vs.
+    # clauses already present in the persistent solver context, the number of
+    # SAT calls this check issued (0 when discharged without the solver), and
+    # the context's conflict total after the check.
+    cnf_new_clauses: int = 0
+    cnf_reused_clauses: int = 0
+    solver_calls: int = 0
+    cumulative_conflicts: int = 0
 
     @property
     def name(self) -> str:
@@ -59,6 +66,33 @@ class PropertyCheckResult:
 
     def __bool__(self) -> bool:  # truthiness == "property holds"
         return self.holds
+
+
+@dataclass
+class PreparedCheck:
+    """A property after the cheap structural stage, before any SAT work.
+
+    Produced by :meth:`IpcEngine.begin_check`; finished (SAT search, model
+    extraction, counterexample construction) by :meth:`IpcEngine.finish_check`.
+    The split lets a scheduler first discharge *every* property structurally
+    on the shared AIG and only then run the remaining SAT obligations against
+    the shared incremental solver context.
+    """
+
+    prop: IntervalProperty
+    result: PropertyCheckResult
+    frames: Dict[int, List[SymbolicFrame]]
+    obligations: List[Tuple[Equality, Vector, Vector, int]]
+    clause_assumptions: List[int]
+    window: int
+    miter: int = FALSE
+    needs_sat: bool = False
+    prepare_seconds: float = 0.0
+
+    @property
+    def discharged(self) -> bool:
+        """True when the property was settled without any SAT obligation."""
+        return not self.needs_sat
 
 
 class IpcEngine:
@@ -71,7 +105,12 @@ class IpcEngine:
     property's assumptions.
     """
 
-    def __init__(self, module: Module, persistent_instances: Tuple[int, ...] = (0,)) -> None:
+    def __init__(
+        self,
+        module: Module,
+        persistent_instances: Tuple[int, ...] = (0,),
+        solver_backend: str = "auto",
+    ) -> None:
         self._module = module
         self._encoder = TransitionEncoder(module)
         self._base_frames: Dict[int, List[SymbolicFrame]] = {}
@@ -79,6 +118,10 @@ class IpcEngine:
         # must never be rebound by assumption merging (a clause constraint is
         # used instead), otherwise one property could constrain the next.
         self._persistent_instances = set(persistent_instances)
+        # One CNF builder + one incremental solver for the engine's lifetime:
+        # the node→var cache and all emitted clauses persist, so overlapping
+        # cones of later checks are never re-encoded or re-learned.
+        self._context = SolverContext(self._encoder.aig, backend=solver_backend)
 
     @property
     def module(self) -> Module:
@@ -87,6 +130,10 @@ class IpcEngine:
     @property
     def encoder(self) -> TransitionEncoder:
         return self._encoder
+
+    @property
+    def solver_context(self) -> SolverContext:
+        return self._context
 
     # ------------------------------------------------------------------ #
     # Frame management
@@ -110,6 +157,16 @@ class IpcEngine:
 
     def check(self, prop: IntervalProperty) -> PropertyCheckResult:
         """Check one interval property; returns the result with optional CEX."""
+        return self.finish_check(self.begin_check(prop))
+
+    def begin_check(self, prop: IntervalProperty) -> PreparedCheck:
+        """Structural stage: bit-blast, merge assumptions, discharge on the AIG.
+
+        Cheap (no SAT): a commitment whose sides hash to the same literal
+        vector is proven structurally.  The returned :class:`PreparedCheck`
+        records whether SAT obligations remain; if so, :meth:`finish_check`
+        settles them against the shared incremental solver context.
+        """
         started = _time.perf_counter()
         prop.validate()
         window = prop.window()
@@ -142,15 +199,40 @@ class IpcEngine:
             clause_assumptions=len(clause_assumptions),
             aig_nodes=self._encoder.aig.num_nodes,
         )
-        if not pending:
-            result.runtime_seconds = _time.perf_counter() - started
-            return result
+        prepared = PreparedCheck(
+            prop=prop,
+            result=result,
+            frames=frames,
+            obligations=obligations,
+            clause_assumptions=clause_assumptions,
+            window=window,
+        )
+        if pending:
+            if any(literal == FALSE for literal in clause_assumptions):
+                # An assumption is structurally false: holds vacuously.
+                pass
+            else:
+                miter = self._encoder.aig.or_many([entry[3] for entry in pending])
+                if miter != FALSE:
+                    prepared.miter = miter
+                    prepared.needs_sat = True
+        prepared.prepare_seconds = _time.perf_counter() - started
+        result.runtime_seconds = prepared.prepare_seconds
+        return prepared
 
-        holds, model_values = self._solve(clause_assumptions, pending, result)
+    def finish_check(self, prepared: PreparedCheck) -> PropertyCheckResult:
+        """SAT stage: settle a prepared check's remaining obligations."""
+        result = prepared.result
+        if not prepared.needs_sat:
+            return result
+        started = _time.perf_counter()
+        holds, model_values = self._solve(prepared)
         result.holds = holds
         if not holds:
-            result.cex = self._build_counterexample(prop, frames, obligations, model_values, window)
-        result.runtime_seconds = _time.perf_counter() - started
+            result.cex = self._build_counterexample(
+                prepared.prop, prepared.frames, prepared.obligations, model_values, prepared.window
+            )
+        result.runtime_seconds = prepared.prepare_seconds + (_time.perf_counter() - started)
         return result
 
     # ------------------------------------------------------------------ #
@@ -257,54 +339,47 @@ class IpcEngine:
     # SAT interaction
     # ------------------------------------------------------------------ #
 
-    def _solve(
-        self,
-        clause_assumptions: List[int],
-        pending: List[Tuple[Equality, Vector, Vector, int]],
-        result: PropertyCheckResult,
-    ) -> Tuple[bool, Dict[int, int]]:
+    def _solve(self, prepared: PreparedCheck) -> Tuple[bool, Dict[int, int]]:
+        """Settle a prepared check's miter against the shared solver context.
+
+        The miter goal and the non-merged assumptions are passed as solver
+        *assumptions*, never as permanent unit clauses: the solver keeps its
+        clause database (and everything it learned) valid for the next check.
+        """
         aig = self._encoder.aig
-        builder = CnfBuilder(aig)
-        solver = SatSolver()
+        context = self._context
 
-        if any(literal == FALSE for literal in clause_assumptions):
-            # An assumption is structurally false: the property holds vacuously.
+        goal_literal = context.literal_of(prepared.miter)
+        assumption_literals = [
+            context.literal_of(literal) for literal in prepared.clause_assumptions
+        ]
+        result = prepared.result
+        outcome = context.solve(assumption_literals + [goal_literal])
+        result.cnf_vars = context.num_vars
+        result.cnf_clauses = context.num_clauses
+        result.cnf_new_clauses = outcome.new_clauses
+        result.cnf_reused_clauses = outcome.reused_clauses
+        result.solver_calls = 1
+        result.cumulative_conflicts = context.cumulative_conflicts
+        result.sat_conflicts = outcome.result.conflicts
+        result.sat_decisions = outcome.result.decisions
+        if not outcome.satisfiable:
             return True, {}
 
-        miter = aig.or_many([entry[3] for entry in pending])
-        if miter == FALSE:
-            return True, {}
-
-        goal_literal = builder.literal_of(miter)
-        assumption_literals = [builder.literal_of(literal) for literal in clause_assumptions]
-        for clause in builder.cnf.clauses:
-            solver.add_clause(clause)
-        solver.ensure_vars(builder.cnf.num_vars)
-        for literal in assumption_literals:
-            solver.add_clause([literal])
-        solver.add_clause([goal_literal])
-
-        result.cnf_vars = builder.cnf.num_vars
-        result.cnf_clauses = builder.cnf.num_clauses if hasattr(builder.cnf, "num_clauses") else len(builder.cnf.clauses)
-
-        sat_result = solver.solve()
-        result.sat_conflicts = sat_result.conflicts
-        result.sat_decisions = sat_result.decisions
-        if not sat_result.satisfiable:
-            return True, {}
-
-        # Map the CNF model back to AIG input-node values.
+        # Map the CNF model back to AIG input-node values.  Only inputs in the
+        # support of *this* check's constraints are extracted; variables that
+        # earlier checks encoded into the persistent context carry arbitrary
+        # model values and must not leak into the counterexample.
+        support_roots = [prepared.miter] + list(prepared.clause_assumptions)
+        model = outcome.result.model
         input_values: Dict[int, int] = {}
-        for node in aig.inputs():
-            literal = node << 1
-            try:
-                cnf_literal = builder.literal_of(literal)
-            except KeyError:  # pragma: no cover - all cone inputs are encoded
+        for node in aig.cone_nodes(support_roots):
+            if not aig.is_input(node):
                 continue
-            variable = abs(cnf_literal)
-            if variable > solver.num_vars:
+            cnf_literal = context.literal_of(node << 1)
+            value = model.get(abs(cnf_literal))
+            if value is None:
                 continue
-            value = sat_result.value(variable)
             input_values[node] = int(value if cnf_literal > 0 else not value)
         return False, input_values
 

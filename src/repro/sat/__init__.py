@@ -1,5 +1,29 @@
-"""Conflict-driven clause learning (CDCL) SAT solver."""
+"""Incremental SAT solving: CDCL solver, pluggable backends, shared context."""
 
 from repro.sat.solver import SatSolver, SatResult
+from repro.sat.backend import (
+    PySatBackend,
+    PythonCdclBackend,
+    SatBackend,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    pysat_available,
+    register_backend,
+)
+from repro.sat.context import ContextSolveOutcome, SolverContext
 
-__all__ = ["SatSolver", "SatResult"]
+__all__ = [
+    "SatSolver",
+    "SatResult",
+    "SatBackend",
+    "PythonCdclBackend",
+    "PySatBackend",
+    "available_backends",
+    "create_backend",
+    "default_backend_name",
+    "pysat_available",
+    "register_backend",
+    "ContextSolveOutcome",
+    "SolverContext",
+]

@@ -21,7 +21,12 @@ from repro.errors import SolverError
 
 @dataclass
 class SatResult:
-    """Outcome of a solver call."""
+    """Outcome of a solver call.
+
+    The ``conflicts``/``decisions``/``propagations`` counters cover *this*
+    call only — a persistent solver accumulates totals across calls, exposed
+    via :attr:`SatSolver.total_conflicts` and friends.
+    """
 
     satisfiable: bool
     model: Dict[int, bool] = field(default_factory=dict)
@@ -34,16 +39,16 @@ class SatResult:
 
 
 def _luby(index: int) -> int:
-    """Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...)."""
-    k = 1
-    while (1 << (k + 1)) - 1 <= index:
-        k += 1
-    while (1 << k) - 1 != index + 1:
-        index = index - (1 << (k - 1)) + 1
-        k = 1
-        while (1 << (k + 1)) - 1 <= index:
-            k += 1
-    return 1 << (k - 1)
+    """Luby restart sequence (1, 1, 2, 1, 1, 2, 4, ...), 0-based index."""
+    size, exponent = 1, 0
+    while size < index + 1:
+        exponent += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        exponent -= 1
+        index %= size
+    return 1 << exponent
 
 
 class SatSolver:
@@ -62,12 +67,19 @@ class SatSolver:
         self._activity: List[float] = [0.0]
         self._activity_increment = 1.0
         self._activity_decay = 0.95
+        # Activity-ordered max-heap of branching candidates.  With one solver
+        # persisting across every check of a run, a linear scan over all
+        # variables ever created would make each decision O(total run vars).
+        self._heap: List[int] = []
+        self._heap_index: List[int] = [-1]
         self._trail: List[int] = []
         self._trail_limits: List[int] = []
         self._propagation_head = 0
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+        self._solve_calls = 0
+        self._call_base = (0, 0, 0)  # counter snapshot at solve() entry
         self._unsat = False
 
     # ------------------------------------------------------------------ #
@@ -81,6 +93,8 @@ class SatSolver:
         self._reasons.append(None)
         self._phases.append(False)
         self._activity.append(0.0)
+        self._heap_index.append(-1)
+        self._heap_insert(self._num_vars)
         return self._num_vars
 
     def ensure_vars(self, count: int) -> None:
@@ -99,6 +113,18 @@ class SatSolver:
         # Tautology check.
         for first, second in zip(clause, clause[1:]):
             if first == -second:
+                return
+        if self._decision_level() == 0:
+            # The persistent solver accumulates permanent level-0 assignments
+            # (unit clauses, learned units) across solve() calls.  Clauses
+            # added later must be simplified against them: a watch placed on
+            # an already-falsified literal would never fire again, letting
+            # the solver return models that violate the new clause.
+            if any(self._literal_value(literal) == 1 for literal in clause):
+                return
+            clause = [literal for literal in clause if self._literal_value(literal) != 0]
+            if not clause:
+                self._unsat = True
                 return
         if len(clause) == 1:
             literal = clause[0]
@@ -196,12 +222,74 @@ class SatSolver:
     def _bump_activity(self, variable: int) -> None:
         self._activity[variable] += self._activity_increment
         if self._activity[variable] > 1e100:
+            # Rescaling preserves the relative order, so the heap stays valid.
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._activity_increment *= 1e-100
+        if self._heap_index[variable] >= 0:
+            self._heap_sift_up(self._heap_index[variable])
 
     def _decay_activities(self) -> None:
         self._activity_increment /= self._activity_decay
+
+    # ------------------------------------------------------------------ #
+    # Branching-order heap (max activity, ties broken by lower index)
+    # ------------------------------------------------------------------ #
+
+    def _heap_prec(self, first: int, second: int) -> bool:
+        activity = self._activity
+        if activity[first] != activity[second]:
+            return activity[first] > activity[second]
+        return first < second
+
+    def _heap_swap(self, i: int, j: int) -> None:
+        heap = self._heap
+        heap[i], heap[j] = heap[j], heap[i]
+        self._heap_index[heap[i]] = i
+        self._heap_index[heap[j]] = j
+
+    def _heap_sift_up(self, position: int) -> None:
+        heap = self._heap
+        while position > 0:
+            parent = (position - 1) >> 1
+            if not self._heap_prec(heap[position], heap[parent]):
+                break
+            self._heap_swap(position, parent)
+            position = parent
+
+    def _heap_sift_down(self, position: int) -> None:
+        heap = self._heap
+        size = len(heap)
+        while True:
+            left = 2 * position + 1
+            best = position
+            if left < size and self._heap_prec(heap[left], heap[best]):
+                best = left
+            right = left + 1
+            if right < size and self._heap_prec(heap[right], heap[best]):
+                best = right
+            if best == position:
+                break
+            self._heap_swap(position, best)
+            position = best
+
+    def _heap_insert(self, variable: int) -> None:
+        if self._heap_index[variable] >= 0:
+            return
+        self._heap.append(variable)
+        self._heap_index[variable] = len(self._heap) - 1
+        self._heap_sift_up(len(self._heap) - 1)
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        top = heap[0]
+        last = heap.pop()
+        self._heap_index[top] = -1
+        if heap:
+            heap[0] = last
+            self._heap_index[last] = 0
+            self._heap_sift_down(0)
+        return top
 
     def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
         learned: List[int] = [0]  # placeholder for the asserting literal
@@ -262,6 +350,7 @@ class SatSolver:
             variable = abs(literal)
             self._assigns[variable] = self._UNASSIGNED
             self._reasons[variable] = None
+            self._heap_insert(variable)
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._propagation_head = len(self._trail)
@@ -281,13 +370,12 @@ class SatSolver:
     # ------------------------------------------------------------------ #
 
     def _pick_branch_variable(self) -> Optional[int]:
-        best_variable = None
-        best_activity = -1.0
-        for variable in range(1, self._num_vars + 1):
-            if self._assigns[variable] == self._UNASSIGNED and self._activity[variable] > best_activity:
-                best_activity = self._activity[variable]
-                best_variable = variable
-        return best_variable
+        # Assigned variables are discarded lazily; _backtrack re-inserts them.
+        while self._heap:
+            variable = self._heap_pop()
+            if self._assigns[variable] == self._UNASSIGNED:
+                return variable
+        return None
 
     # ------------------------------------------------------------------ #
     # Main solve loop
@@ -298,15 +386,25 @@ class SatSolver:
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
     ) -> SatResult:
-        """Solve the current formula under optional assumptions."""
+        """Solve the current formula under optional assumptions.
+
+        Assumptions are applied as pseudo-decisions below every real decision
+        level and are fully retracted before the call returns: the clause
+        database (including clauses learned during this call), the VSIDS
+        activities and the saved phases all persist, so subsequent calls —
+        with different assumptions or none — resume from the accumulated
+        state instead of starting over.
+        """
         assumptions = list(assumptions or [])
+        self._solve_calls += 1
+        self._call_base = (self._conflicts, self._decisions, self._propagations)
         if self._unsat:
-            return SatResult(satisfiable=False, conflicts=self._conflicts)
+            return self._result(False)
         self._backtrack(0)
         conflict = self._propagate()
         if conflict is not None:
             self._unsat = True
-            return SatResult(satisfiable=False, conflicts=self._conflicts)
+            return self._result(False)
 
         restart_index = 0
         restart_budget = 64 * _luby(restart_index)
@@ -317,7 +415,9 @@ class SatSolver:
             if conflict is not None:
                 self._conflicts += 1
                 conflicts_at_restart += 1
-                if conflict_limit is not None and self._conflicts >= conflict_limit:
+                if conflict_limit is not None and self._conflicts - self._call_base[0] >= conflict_limit:
+                    # Leave the persistent solver in a reusable state.
+                    self._backtrack(0)
                     raise SolverError("conflict limit exceeded")
                 if self._decision_level() <= len(assumptions):
                     # Conflict under assumptions only: UNSAT under assumptions.
@@ -377,12 +477,13 @@ class SatSolver:
             for variable in range(1, self._num_vars + 1):
                 value = self._assigns[variable]
                 model[variable] = (value == 1) if value != self._UNASSIGNED else self._phases[variable]
+        conflicts_base, decisions_base, propagations_base = self._call_base
         return SatResult(
             satisfiable=satisfiable,
             model=model,
-            conflicts=self._conflicts,
-            decisions=self._decisions,
-            propagations=self._propagations,
+            conflicts=self._conflicts - conflicts_base,
+            decisions=self._decisions - decisions_base,
+            propagations=self._propagations - propagations_base,
         )
 
     # ------------------------------------------------------------------ #
@@ -396,3 +497,19 @@ class SatSolver:
     @property
     def num_clauses(self) -> int:
         return len(self._clauses)
+
+    @property
+    def solve_calls(self) -> int:
+        return self._solve_calls
+
+    @property
+    def total_conflicts(self) -> int:
+        return self._conflicts
+
+    @property
+    def total_decisions(self) -> int:
+        return self._decisions
+
+    @property
+    def total_propagations(self) -> int:
+        return self._propagations

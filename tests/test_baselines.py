@@ -120,6 +120,28 @@ class TestBoundedModelChecking:
         checker = BoundedTrojanChecker(golden_module, golden_module)
         assert not checker.check(bound=6).trojan_detected
 
+    def test_combinational_input_path_shares_topmost_frame(self):
+        # An output that samples the input combinationally must see the same
+        # symbolic input in both models at the compared cycle — otherwise a
+        # clean design is flagged as diverging.
+        source = (
+            "module m(input clk, input [7:0] din, output [7:0] dout);"
+            " reg [7:0] stage; always @(posedge clk) stage <= din;"
+            " assign dout = din ^ stage; endmodule"
+        )
+        dut = elaborate_source(source, "m")
+        golden = elaborate_source(source.replace("module m", "module g"), "g")
+        checker = BoundedTrojanChecker(dut, golden)
+        for bound in (1, 2, 3):
+            assert not checker.check(bound=bound).trojan_detected
+
+    def test_incremental_bounds_reuse_clauses(self, short_trigger_module, golden_module):
+        checker = BoundedTrojanChecker(short_trigger_module, golden_module)
+        shallow = checker.check(bound=2)
+        deeper = checker.check(bound=10)
+        assert deeper.trojan_detected
+        assert deeper.cnf_reused_clauses >= shallow.cnf_new_clauses
+
     def test_golden_inputs_must_exist_in_design(self, golden_module):
         other = elaborate_source(
             "module acc(input clk, input [7:0] other_name, output [7:0] dout);"

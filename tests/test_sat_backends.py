@@ -1,0 +1,265 @@
+"""Tests for assumption-based incremental solving, backends and the context."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.aig.aig import AIG
+from repro.errors import SolverError
+from repro.sat import (
+    PythonCdclBackend,
+    SatSolver,
+    SolverContext,
+    available_backends,
+    create_backend,
+    default_backend_name,
+    pysat_available,
+    register_backend,
+)
+
+
+def brute_force_satisfiable(num_vars, clauses, assumptions=()):
+    constrained = list(clauses) + [[literal] for literal in assumptions]
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any((assignment[abs(l)] if l > 0 else not assignment[abs(l)]) for l in clause)
+            for clause in constrained
+        ):
+            return True
+    return False
+
+
+def pigeonhole_clauses(holes):
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1
+    clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+class TestAssumptionBasedSolving:
+    def test_unsat_under_assumptions_stays_solvable_without_them(self):
+        solver = SatSolver()
+        guard = 13
+        for clause in pigeonhole_clauses(3):
+            solver.add_clause(clause + [-guard])
+        assert not solver.solve(assumptions=[guard]).satisfiable
+        # The same formula must remain solvable once the guard is dropped …
+        assert solver.solve().satisfiable
+        # … and even re-checkable under the opposite guard.
+        assert solver.solve(assumptions=[-guard]).satisfiable
+
+    def test_learned_clauses_persist_across_solve_calls(self):
+        solver = SatSolver()
+        guard = 13
+        clauses = pigeonhole_clauses(3)
+        for clause in clauses:
+            solver.add_clause(clause + [-guard])
+        problem_clauses = solver.num_clauses
+        first = solver.solve(assumptions=[guard])
+        assert not first.satisfiable and first.conflicts > 0
+        # Conflict analysis appended learned clauses to the database.
+        assert solver.num_clauses > problem_clauses
+        learned_after_first = solver.num_clauses
+        # A repeat of the same query keeps the learned clauses and resolves
+        # with no more conflicts than the cold call.
+        second = solver.solve(assumptions=[guard])
+        assert not second.satisfiable
+        assert second.conflicts <= first.conflicts
+        assert solver.num_clauses >= learned_after_first
+
+    def test_per_call_statistics_reset(self):
+        solver = SatSolver()
+        for clause in pigeonhole_clauses(3):
+            solver.add_clause(clause)
+        first = solver.solve()
+        assert not first.satisfiable and first.conflicts > 0
+        assert solver.total_conflicts >= first.conflicts
+        assert solver.solve_calls == 1
+        # A permanently UNSAT formula answers immediately on the next call.
+        second = solver.solve()
+        assert not second.satisfiable and second.conflicts == 0
+        assert solver.solve_calls == 2
+
+    def test_phase_and_activity_state_survive(self):
+        solver = SatSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        first = solver.solve(assumptions=[1])
+        assert first.satisfiable and first.model[3] is True
+        second = solver.solve()
+        assert second.satisfiable
+
+
+class TestBackendRegistry:
+    def test_python_backend_always_registered(self):
+        assert "python" in available_backends()
+
+    def test_auto_resolves_to_registered_backend(self):
+        assert default_backend_name() in available_backends()
+        backend = create_backend("auto")
+        backend.add_clause([1])
+        assert backend.solve().satisfiable
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SolverError):
+            create_backend("z3-but-not-really")
+
+    def test_pysat_registered_iff_installed(self):
+        assert ("pysat" in available_backends()) == pysat_available()
+
+    def test_register_backend_overrides(self):
+        marker = []
+
+        def factory():
+            marker.append(True)
+            return PythonCdclBackend()
+
+        register_backend("marked", factory)
+        try:
+            backend = create_backend("marked")
+            assert marker and backend.name == "python"
+        finally:
+            import repro.sat.backend as backend_module
+
+            backend_module._REGISTRY.pop("marked", None)
+
+
+@pytest.mark.parametrize("backend_name", available_backends())
+class TestBackendConformance:
+    """Every registered backend must agree with brute force on small instances."""
+
+    def _random_instances(self, count=8):
+        rng = random.Random(7)
+        instances = []
+        for _ in range(count):
+            num_vars = rng.randint(3, 7)
+            clauses = []
+            for _ in range(rng.randint(3, 20)):
+                size = rng.randint(1, 3)
+                variables = rng.sample(range(1, num_vars + 1), min(size, num_vars))
+                clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+            instances.append((num_vars, clauses))
+        return instances
+
+    def test_agrees_with_brute_force(self, backend_name):
+        for num_vars, clauses in self._random_instances():
+            backend = create_backend(backend_name)
+            for clause in clauses:
+                backend.add_clause(clause)
+            result = backend.solve()
+            assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)
+
+    def test_agrees_under_assumptions(self, backend_name):
+        for num_vars, clauses in self._random_instances():
+            backend = create_backend(backend_name)
+            for clause in clauses:
+                backend.add_clause(clause)
+            for assumption in ([1], [-1], [1, 2], [-1, -2]):
+                result = backend.solve(assumptions=assumption)
+                expected = brute_force_satisfiable(num_vars, clauses, assumption)
+                assert result.satisfiable == expected
+                # UNSAT under assumptions must never poison the formula.
+                if not result.satisfiable:
+                    follow_up = backend.solve()
+                    assert follow_up.satisfiable == brute_force_satisfiable(num_vars, clauses)
+
+    def test_pigeonhole_unsat(self, backend_name):
+        backend = create_backend(backend_name)
+        for clause in pigeonhole_clauses(3):
+            backend.add_clause(clause)
+        assert not backend.solve().satisfiable
+        assert backend.total_conflicts > 0
+        assert backend.solve_calls == 1
+
+    def test_model_satisfies_formula(self, backend_name):
+        clauses = [[1, 2], [-1, -2], [2, 3], [-3, 1]]
+        backend = create_backend(backend_name)
+        for clause in clauses:
+            backend.add_clause(clause)
+        result = backend.solve()
+        assert result.satisfiable
+        for clause in clauses:
+            assert any(
+                (result.model.get(abs(l), False) if l > 0 else not result.model.get(abs(l), False))
+                for l in clause
+            )
+
+
+@pytest.mark.skipif(not pysat_available(), reason="python-sat is not installed")
+class TestPySatBackendParity:
+    def test_agrees_with_python_backend_on_assumption_instances(self):
+        clauses = [[-1, 2], [-2, -3], [3, 4], [-4, 5]]
+        for assumptions in ([], [1], [1, 3], [-5, 3]):
+            local = create_backend("python")
+            remote = create_backend("pysat")
+            for clause in clauses:
+                local.add_clause(clause)
+                remote.add_clause(clause)
+            assert (
+                local.solve(assumptions=assumptions).satisfiable
+                == remote.solve(assumptions=assumptions).satisfiable
+            )
+
+
+class TestSolverContext:
+    def _and_chain(self, aig, names):
+        literal = None
+        for name in names:
+            node = aig.add_input(name)
+            literal = node if literal is None else aig.and_(literal, node)
+        return literal
+
+    def test_only_new_clauses_are_fed(self):
+        aig = AIG()
+        root = self._and_chain(aig, "abcd")
+        context = SolverContext(aig, backend="python")
+        goal = context.literal_of(root)
+        first = context.solve([goal])
+        assert first.satisfiable
+        assert first.new_clauses > 0 and first.reused_clauses == 0
+        # Same goal again: the cone is cached, nothing new to feed.
+        second = context.solve([context.literal_of(root)])
+        assert second.satisfiable
+        assert second.new_clauses == 0
+        assert second.reused_clauses == first.new_clauses
+
+    def test_overlapping_cone_adds_only_delta(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        shared = aig.and_(a, b)
+        context = SolverContext(aig, backend="python")
+        first = context.solve([context.literal_of(shared)])
+        grown = aig.and_(shared, aig.add_input("c"))
+        second = context.solve([context.literal_of(grown)])
+        assert second.satisfiable
+        # Only the new AND gate's three Tseitin clauses are added.
+        assert 0 < second.new_clauses <= 3
+
+    def test_assumptions_do_not_poison_the_context(self):
+        aig = AIG()
+        a, b = aig.add_input("a"), aig.add_input("b")
+        both = aig.and_(a, b)
+        neither = aig.and_(aig.not_(a), aig.not_(b))
+        context = SolverContext(aig, backend="python")
+        conflict = [context.literal_of(both), context.literal_of(neither)]
+        assert not context.solve(conflict).satisfiable
+        # Each goal alone remains satisfiable in the same context.
+        assert context.solve([context.literal_of(both)]).satisfiable
+        assert context.solve([context.literal_of(neither)]).satisfiable
+        assert context.solve_calls == 3
+
+    def test_statistics_accessors(self):
+        aig = AIG()
+        root = self._and_chain(aig, "ab")
+        context = SolverContext(aig, backend="python")
+        context.solve([context.literal_of(root)])
+        assert context.backend_name == "python"
+        assert context.num_clauses == context.clauses_fed > 0
+        assert context.num_vars >= 3
+        assert "backend" in context.reuse_summary()
