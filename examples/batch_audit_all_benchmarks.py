@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Audit every bundled Trust-Hub-style benchmark in one batch session.
+
+This demonstrates :class:`repro.api.BatchSession` — the multi-design audit
+surface: one shared configuration template, one process, per-design reports
+aggregated into a :class:`repro.api.BatchReport` with cumulative
+solver-reuse statistics.  A subscriber on the batch's event bus renders a
+live one-line progress ticker per design as its classes settle.
+
+Run with:  python examples/batch_audit_all_benchmarks.py [family ...]
+
+where the optional families (AES, BasicRSA, RS232) restrict the batch; with
+no arguments the whole catalogue is audited (this takes a while — every
+design runs the complete iterative flow).
+"""
+
+import sys
+
+from repro.api import BatchSession, RunFinished, RunStarted
+from repro.trusthub import design_names, families
+
+
+def progress(event) -> None:
+    if isinstance(event, RunStarted):
+        print(f"  auditing {event.design} "
+              f"({event.scheduled_classes} property classes) ...", flush=True)
+    elif isinstance(event, RunFinished):
+        print(f"    -> {event.report.verdict.value}"
+              + (f" ({event.report.detected_by})" if event.report.detected_by else ""))
+
+
+def main() -> None:
+    selected = sys.argv[1:] or families()
+    unknown = [family for family in selected if family not in families()]
+    if unknown:
+        raise SystemExit(f"unknown families: {', '.join(unknown)}; "
+                         f"available: {', '.join(families())}")
+
+    names = [name for family in selected for name in design_names(family=family)]
+    print(f"batch-auditing {len(names)} design(s) from {', '.join(selected)}")
+
+    batch = BatchSession(names)
+    batch.subscribe(progress)
+    report = batch.run()
+
+    print()
+    print(report.summary())
+
+    flagged = report.flagged_designs()
+    clean = set(design_names(with_trojan=False))
+    missed = [name for name in names if name not in clean and name not in flagged]
+    print()
+    print(f"designs flagged: {len(flagged)} / {len(names)}")
+    if missed:
+        print(f"trojans MISSED by the flow: {', '.join(missed)}")
+    else:
+        print("every Trojan-infested design in the selection was flagged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,24 +1,24 @@
 #!/usr/bin/env python3
 """Audit a custom third-party accelerator IP, step by step.
 
-This example walks through the API a verification engineer would use when a
-vendor delivers an unknown accelerator IP (here: a small SHA-like compression
-pipeline with an intentionally hidden Trojan):
+This example walks through the session API a verification engineer would use
+when a vendor delivers an unknown accelerator IP (here: a small SHA-like
+compression pipeline with an intentionally hidden Trojan):
 
-1. elaborate the RTL and inspect the structural fanout classes,
+1. load the RTL as a :class:`repro.api.Design` and inspect the structural
+   fanout classes,
 2. build and inspect the individual init/fanout properties,
-3. run the iterative flow, diagnose the counterexample,
+3. run the flow *streaming* — typed run events arrive per property class
+   while the SAT phase is still executing,
 4. decide between waiving a legitimate dependency and reporting a Trojan,
 5. compare against the dynamic-testing baseline, which misses the Trojan.
 
 Run with:  python examples/custom_accelerator_audit.py
 """
 
+from repro.api import CexFound, ClassProven, Design, DetectionSession, StructurallyDischarged
 from repro.baselines import RandomSimulationTester
-from repro.core import DetectionConfig, TrojanDetectionFlow
 from repro.core.properties import build_init_property
-from repro.rtl import compute_fanout_classes, elaborate_source
-from repro.sim import Simulator
 
 VENDOR_IP = """
 module compressor(
@@ -50,10 +50,12 @@ endmodule
 
 
 def main() -> None:
-    module = elaborate_source(VENDOR_IP, top="compressor")
+    design = Design.from_source(VENDOR_IP, top="compressor", name="vendor-compressor")
+    print(design.describe())
+    print()
 
     # Step 1: structural fanout analysis.
-    analysis = compute_fanout_classes(module)
+    analysis = design.analysis()
     print("fanout classes (smallest #cycles for inputs to reach each signal):")
     for class_index in sorted(analysis.classes):
         print(f"  CC{class_index}: {sorted(analysis.classes[class_index])}")
@@ -62,13 +64,22 @@ def main() -> None:
     print()
 
     # Step 2: look at the init property the flow will check (Fig. 4).
-    init_property = build_init_property(module, analysis)
+    init_property = build_init_property(design.module, analysis)
     print(init_property.summary())
     print()
 
-    # Step 3: run the complete flow.
-    flow = TrojanDetectionFlow(module, DetectionConfig())
-    report = flow.run()
+    # Step 3: run the flow streaming — one typed event per property class, in
+    # class order, while the structural and SAT phases execute.
+    session = DetectionSession(design)
+    for event in session.iter_results():
+        if isinstance(event, StructurallyDischarged):
+            print(f"event: {event.label} discharged structurally")
+        elif isinstance(event, ClassProven):
+            print(f"event: {event.label} proven by SAT")
+        elif isinstance(event, CexFound) and not event.auto_resolvable:
+            print(f"event: {event.label} failed — counterexample found")
+    report = session.report
+    print()
     print(report.summary())
     print()
 
@@ -93,7 +104,7 @@ def main() -> None:
         mix2 = (((mix1 << 3) | (mix1 >> 29)) & 0xFFFFFFFF) ^ (mix1 & 0x6ED9EBA1)
         return {"digest": (mix2 + mix1) & 0xFFFFFFFF}
 
-    tester = RandomSimulationTester(module, golden, checked_outputs=["digest"], seed=7)
+    tester = RandomSimulationTester(design.module, golden, checked_outputs=["digest"], seed=7)
     simulation = tester.run(cycles=2000)
     print(simulation.summary())
     print("=> the formal flow flags the Trojan; random testing does not.")

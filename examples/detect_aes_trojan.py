@@ -14,10 +14,9 @@ payload leaks key material through the switching activity of a shift register
 Run with:  python examples/detect_aes_trojan.py
 """
 
-from repro.core import DetectionConfig, detect_trojans
+from repro.api import CexFound, Design, DetectionSession
 from repro.crypto.aes_ref import aes128_encrypt_block
 from repro.sim import Simulator
-from repro.trusthub import load_design
 from repro.trusthub.aes_core import AES_LATENCY
 
 
@@ -37,21 +36,26 @@ def show_functional_behaviour(module) -> None:
 
 
 def main() -> None:
-    design = load_design("AES-T1400")
-    print(f"benchmark: {design.name} — payload {design.payload}, trigger {design.trigger}")
+    design = Design.from_benchmark("AES-T1400")
+    print(f"benchmark: {design.name}")
     print(f"description: {design.description}")
     print()
 
-    module = design.elaborate()
-    show_functional_behaviour(module)
+    show_functional_behaviour(design.module)
 
-    config = DetectionConfig(inputs=list(design.data_inputs))
-    report = detect_trojans(module, config)
+    # Stream the run: the CexFound event fires while the scheduler is still
+    # inside the SAT phase, before the final report exists.
+    session = DetectionSession(design)
+    for event in session.iter_results():
+        if isinstance(event, CexFound) and not event.auto_resolvable:
+            print(f"streaming event: counterexample found by {event.label}")
+    report = session.report
 
+    print()
     print(report.summary())
     print()
-    print(f"the paper reports this Trojan as detected by: {design.expected_detection}")
-    print(f"this run detected it by:                      {report.detected_by}")
+    print("the paper reports this Trojan as detected by the init property")
+    print(f"this run detected it by:                     {report.detected_by}")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,8 @@ Workflow demonstrated here (the way a verification engineer would consume a
 finding of the detection flow):
 
 1. run the golden-free detection flow on the AES-T2500 benchmark (Fig. 7 of
-   the paper: cycle-counter trigger, ciphertext-LSB-flip payload),
+   the paper: cycle-counter trigger, ciphertext-LSB-flip payload) through a
+   :class:`repro.api.DetectionSession`,
 2. replay the counterexample on two RTL simulator instances to confirm the
    divergence outside the formal engine,
 3. dump both instances' waveforms as VCD files for inspection in any
@@ -17,19 +18,19 @@ Run with:  python examples/export_counterexample_waveform.py [output-dir]
 import sys
 from pathlib import Path
 
-from repro.core import DetectionConfig, TrojanDetectionFlow, replay_counterexample
+from repro.api import Design, DetectionSession
+from repro.core import replay_counterexample
 from repro.sim import write_vcd
-from repro.trusthub import load_design
 
 
 def main() -> None:
     output_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
     output_dir.mkdir(parents=True, exist_ok=True)
 
-    design = load_design("AES-T2500")
-    module = design.elaborate()
-    flow = TrojanDetectionFlow(module, DetectionConfig(inputs=list(design.data_inputs)))
-    report = flow.run()
+    design = Design.from_benchmark("AES-T2500")
+    session = DetectionSession(design)
+    report = session.run()
+    module = design.module
 
     print(report.summary())
     if report.counterexample is None:

@@ -10,7 +10,7 @@ under a symbolic starting state.
 Run with:  python examples/quickstart.py
 """
 
-from repro import detect_trojans, elaborate_source
+from repro.api import Design, DetectionSession
 
 CLEAN_ACCELERATOR = """
 module mac_accel(
@@ -59,8 +59,8 @@ endmodule
 
 def run(title: str, source: str) -> None:
     print(f"=== {title} ===")
-    module = elaborate_source(source, top="mac_accel")
-    report = detect_trojans(module)
+    design = Design.from_source(source, top="mac_accel", name=title)
+    report = DetectionSession(design).run()
     print(report.summary())
     print()
 

@@ -11,18 +11,18 @@ paper; the script shows the flow once without and once with those waivers.
 Run with:  python examples/verify_clean_design.py
 """
 
-from repro.core import DetectionConfig, Waiver, detect_trojans
-from repro.trusthub import design_names, load_design
+from repro.api import Design, DetectionSession
+from repro.trusthub import design_names
 
 
 def verify(name: str) -> None:
-    design = load_design(name)
-    module = design.elaborate()
-    print(f"=== {name} ({design.family}) ===")
+    design = Design.from_benchmark(name)
+    print(f"=== {name} ===")
 
     # First run: no waivers.  Self-dependent control registers (if any) show
     # up as counterexamples that the engineer must review.
-    raw = detect_trojans(module, DetectionConfig(inputs=list(design.data_inputs)))
+    raw_config = design.default_config(include_recommended_waivers=False)
+    raw = DetectionSession(design, config=raw_config).run()
     print(f"  without waivers: {raw.verdict.value}"
           + (f" ({raw.detected_by})" if raw.detected_by else ""))
     if raw.diagnosis is not None and not raw.is_secure:
@@ -32,9 +32,8 @@ def verify(name: str) -> None:
     # Second run: with the waivers an engineer adds after reviewing the
     # counterexamples (legitimate cross-computation state, cf. Sec. V-B).
     if design.recommended_waivers:
-        waivers = [Waiver(signal, "legitimate control state") for signal in design.recommended_waivers]
-        waived = detect_trojans(module, DetectionConfig(inputs=list(design.data_inputs), waivers=waivers))
-        print(f"  with {len(waivers)} waiver(s):  {waived.verdict.value}")
+        waived = DetectionSession(design, config=design.default_config()).run()
+        print(f"  with {len(design.recommended_waivers)} waiver(s):  {waived.verdict.value}")
         report = waived
     else:
         report = raw

@@ -5,13 +5,16 @@ Trojan Detection in Non-Interfering Accelerators"* (DATE 2024): a 2-safety
 interval-property-checking flow that exhaustively detects sequential hardware
 Trojans at RTL without a golden model or functional specification.
 
-Typical usage::
+Typical usage (the session API of :mod:`repro.api`)::
 
-    from repro import elaborate_source, detect_trojans
+    from repro import Design, DetectionSession
 
-    module = elaborate_source(verilog_text, top="my_accelerator")
-    report = detect_trojans(module)
+    design = Design.from_source(verilog_text, top="my_accelerator")
+    report = DetectionSession(design).run()
     print(report.summary())
+
+The one-shot :func:`detect_trojans` helper is still exported as a deprecated
+shim on top of :class:`repro.api.DetectionSession`.
 
 The package also ships everything the reproduction needs: a Verilog-subset
 frontend, an RTL IR with structural fanout analysis, an AIG + CDCL SAT
@@ -31,6 +34,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.rtl import Module, elaborate, elaborate_source
+from repro.api import BatchReport, BatchSession, Design, DetectionSession
 
 __all__ = [
     "__version__",
@@ -38,6 +42,10 @@ __all__ = [
     "Module",
     "elaborate",
     "elaborate_source",
+    "Design",
+    "DetectionSession",
+    "BatchSession",
+    "BatchReport",
     "detect_trojans",
     "TrojanDetectionFlow",
     "DetectionConfig",

@@ -1,0 +1,36 @@
+"""Public re-export of the typed run events and the event bus.
+
+The canonical definitions live in :mod:`repro.core.events` (so the scheduler
+can emit them without importing the API layer); this module is the supported
+import path for API consumers::
+
+    from repro.api.events import CexFound, PropertyScheduled, RunFinished
+"""
+
+from repro.core.events import (
+    CexFound,
+    CexWaived,
+    ClassEvent,
+    ClassProven,
+    EventBus,
+    PropertyScheduled,
+    RunEvent,
+    RunFinished,
+    RunStarted,
+    StructurallyDischarged,
+    class_label,
+)
+
+__all__ = [
+    "RunEvent",
+    "ClassEvent",
+    "RunStarted",
+    "PropertyScheduled",
+    "StructurallyDischarged",
+    "ClassProven",
+    "CexFound",
+    "CexWaived",
+    "RunFinished",
+    "EventBus",
+    "class_label",
+]

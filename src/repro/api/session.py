@@ -1,0 +1,347 @@
+"""Detection sessions: lifecycle owners of one (or many) audit runs.
+
+``DetectionSession`` owns one :class:`repro.core.flow.TrojanDetectionFlow`
+(and therefore one :class:`repro.ipc.engine.IpcEngine` with its persistent
+solver context) per design.  Results can be consumed three ways:
+
+* ``run()`` — blocking, returns the final :class:`DetectionReport`;
+* ``iter_results()`` — a lazy generator of typed run events; the SAT phase
+  executes *as the caller iterates*, so progress bars, telemetry, and early
+  aborts work while properties are still being settled;
+* ``subscribe(callback)`` — observer callbacks on the session's event bus,
+  fired for both ``run()`` and ``iter_results()`` consumption.
+
+``BatchSession`` audits a sequence of designs under one shared
+:class:`DetectionConfig` and aggregates a :class:`BatchReport` with
+per-design reports plus cumulative solver-reuse statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Type, Union
+
+from repro.api.design import Design
+from repro.core.config import DetectionConfig, Waiver
+from repro.core.events import EventBus, RunEvent, RunFinished
+from repro.core.flow import TrojanDetectionFlow
+from repro.core.report import SCHEMA_VERSION, DetectionReport
+from repro.errors import ReproError
+from repro.rtl.ir import Module
+
+
+class DetectionSession:
+    """One audit of one design, with streaming results and run events."""
+
+    def __init__(
+        self,
+        design: Union[Design, Module],
+        config: Optional[DetectionConfig] = None,
+    ) -> None:
+        if isinstance(design, Module):
+            design = Design.from_module(design)
+        self._design = design
+        self._config = config if config is not None else design.default_config()
+        self._bus = EventBus()
+        self._flow: Optional[TrojanDetectionFlow] = None
+        self._report: Optional[DetectionReport] = None
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def design(self) -> Design:
+        return self._design
+
+    @property
+    def config(self) -> DetectionConfig:
+        return self._config
+
+    @property
+    def flow(self) -> TrojanDetectionFlow:
+        """The underlying scheduler (created lazily, then kept warm)."""
+        if self._flow is None:
+            # Reuse the design's cached fanout analysis when the config traces
+            # an explicit input set; with inputs=None the flow's own default
+            # (the module's data inputs) applies, which may differ from the
+            # design's benchmark metadata.
+            analysis = (
+                self._design.analysis(self._config.inputs)
+                if self._config.inputs is not None
+                else None
+            )
+            self._flow = TrojanDetectionFlow(
+                self._design.module,
+                self._config,
+                design_name=self._design.name,
+                analysis=analysis,
+            )
+        return self._flow
+
+    @property
+    def report(self) -> Optional[DetectionReport]:
+        """The report of the most recent completed run, if any."""
+        return self._report
+
+    # ------------------------------------------------------------------ #
+    # Event surface
+    # ------------------------------------------------------------------ #
+
+    def subscribe(
+        self,
+        callback: Callable[[RunEvent], None],
+        event_type: Optional[Type[RunEvent]] = None,
+    ) -> Callable[[], None]:
+        """Observe run events; returns an unsubscribe callable."""
+        return self._bus.subscribe(callback, event_type)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def iter_results(self) -> Iterator[RunEvent]:
+        """Run the audit, yielding each typed event as the class settles.
+
+        Events arrive in class order while the structural and SAT phases are
+        executing; abandoning the iterator aborts the remaining work.  Every
+        event is also dispatched to the session's subscribers.  After the
+        final :class:`RunFinished` event, :attr:`report` holds the run's
+        report.
+        """
+        for event in self.flow.events():
+            # Store the report before dispatching, so a RunFinished
+            # subscriber reading session.report sees the finished run.
+            if isinstance(event, RunFinished):
+                self._report = event.report
+            self._bus.emit(event)
+            yield event
+
+    def run(self) -> DetectionReport:
+        """Execute the complete audit and return the final report."""
+        for _ in self.iter_results():
+            pass
+        assert self._report is not None
+        return self._report
+
+    # Sessions are usable as context managers for symmetry with other
+    # lifecycle-owning APIs; there is no external state to release today.
+    def __enter__(self) -> "DetectionSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DetectionSession({self._design.name!r})"
+
+
+@dataclass
+class BatchReport:
+    """Aggregated result of a :class:`BatchSession` run."""
+
+    reports: List[DetectionReport] = field(default_factory=list)
+    total_runtime_seconds: float = 0.0
+
+    @property
+    def designs_audited(self) -> int:
+        return len(self.reports)
+
+    @property
+    def all_secure(self) -> bool:
+        return all(report.is_secure for report in self.reports)
+
+    def flagged_designs(self) -> List[str]:
+        """Names of designs the batch did not prove secure."""
+        return [report.design for report in self.reports if not report.is_secure]
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for report in self.reports:
+            counts[report.verdict.value] = counts.get(report.verdict.value, 0) + 1
+        return counts
+
+    def solver_stats(self) -> Dict[str, int]:
+        """Cumulative solver-reuse statistics across every design's context."""
+        totals = {"solver_calls": 0, "conflicts": 0, "clauses_encoded": 0,
+                  "clauses_new": 0, "clauses_reused": 0}
+        for report in self.reports:
+            for key, value in report.solver_stats().items():
+                totals[key] += value
+        return totals
+
+    def report_for(self, design: str) -> DetectionReport:
+        for report in self.reports:
+            if report.design == design:
+                return report
+        raise ReproError(f"batch report has no design {design!r}")
+
+    # ------------------------------------------------------------------ #
+    # Serialization (shares the report schema version)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "total_runtime_seconds": self.total_runtime_seconds,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchReport":
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"serialized batch report must be a dict, got {type(data).__name__}"
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported batch report schema_version {version!r} "
+                f"(this library reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            reports=[DetectionReport.from_dict(entry) for entry in data.get("reports", [])],
+            total_runtime_seconds=data.get("total_runtime_seconds", 0.0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchReport":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"batch report is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def summary(self) -> str:
+        counts = ", ".join(
+            f"{count} {verdict}" for verdict, count in sorted(self.verdict_counts().items())
+        ) or "no designs audited"
+        lines = [
+            f"batch audit: {self.designs_audited} design(s) in "
+            f"{self.total_runtime_seconds:.2f} s — {counts}"
+        ]
+        for report in self.reports:
+            marker = "ok " if report.is_secure else "!! "
+            detected = f" ({report.detected_by})" if report.detected_by else ""
+            lines.append(
+                f"  {marker}{report.design:20s} {report.verdict.value}{detected}"
+                f"  [{report.properties_checked()} properties,"
+                f" {report.total_runtime_seconds:.2f} s]"
+            )
+        stats = self.solver_stats()
+        if stats["solver_calls"]:
+            lines.append(
+                f"  cumulative solver work: {stats['solver_calls']} calls,"
+                f" {stats['clauses_new']} new / {stats['clauses_reused']} reused clauses,"
+                f" {stats['conflicts']} conflicts"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()
+
+
+class BatchSession:
+    """Audit many designs in one process under one shared configuration.
+
+    Designs are accepted as :class:`Design` objects, raw modules, or bundled
+    benchmark names.  The shared ``config`` acts as a template: for every
+    design the session fills in the design's own traced inputs (when the
+    template leaves ``inputs`` unset) and appends the design's recommended
+    waivers (unless ``use_recommended_waivers`` is off), mirroring how
+    settings with priorities compose in crawler frameworks.
+    """
+
+    def __init__(
+        self,
+        designs: Iterable[Union[Design, Module, str]] = (),
+        config: Optional[DetectionConfig] = None,
+        use_recommended_waivers: bool = True,
+    ) -> None:
+        self._designs: List[Design] = []
+        self._config = config
+        self._use_recommended_waivers = use_recommended_waivers
+        self._bus = EventBus()
+        self._report: Optional[BatchReport] = None
+        for design in designs:
+            self.add(design)
+
+    @property
+    def designs(self) -> Tuple[Design, ...]:
+        return tuple(self._designs)
+
+    @property
+    def report(self) -> Optional[BatchReport]:
+        """The batch report of the most recent completed run, if any."""
+        return self._report
+
+    def add(self, design: Union[Design, Module, str]) -> Design:
+        """Queue a design (benchmark name, module, or Design) for the audit."""
+        if isinstance(design, str):
+            design = Design.from_benchmark(design)
+        elif isinstance(design, Module):
+            design = Design.from_module(design)
+        self._designs.append(design)
+        return design
+
+    def subscribe(
+        self,
+        callback: Callable[[RunEvent], None],
+        event_type: Optional[Type[RunEvent]] = None,
+    ) -> Callable[[], None]:
+        """Observe the run events of every design in the batch."""
+        return self._bus.subscribe(callback, event_type)
+
+    def config_for(self, design: Design) -> DetectionConfig:
+        """The effective configuration the batch applies to ``design``."""
+        if self._config is None:
+            return design.default_config(
+                include_recommended_waivers=self._use_recommended_waivers
+            )
+        config = self._config
+        if config.inputs is None and design.data_inputs:
+            config = replace(config, inputs=list(design.data_inputs))
+        if self._use_recommended_waivers and design.recommended_waivers:
+            waived = set(config.waived_signals())
+            extra = [
+                Waiver(signal=signal, reason=f"recommended for {design.name}")
+                for signal in design.recommended_waivers
+                if signal not in waived
+            ]
+            if extra:
+                config = replace(config, waivers=list(config.waivers) + extra)
+        return config
+
+    def iter_reports(self) -> Iterator[Tuple[Design, DetectionReport]]:
+        """Audit the queued designs one by one, yielding each design's report.
+
+        Lazy like :meth:`DetectionSession.iter_results`: design ``n+1`` is
+        not elaborated into a flow before design ``n``'s report has been
+        consumed, so a caller can stop a long batch early.
+        """
+        for design in self._designs:
+            session = DetectionSession(design, config=self.config_for(design))
+            session.subscribe(self._bus.emit)
+            yield design, session.run()
+
+    def run(self) -> BatchReport:
+        """Audit every queued design and return the aggregated batch report."""
+        started = _time.perf_counter()
+        batch = BatchReport()
+        for _, report in self.iter_reports():
+            batch.reports.append(report)
+        batch.total_runtime_seconds = _time.perf_counter() - started
+        self._report = batch
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BatchSession({[design.name for design in self._designs]!r})"

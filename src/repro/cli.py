@@ -1,15 +1,25 @@
 """Command-line interface: ``repro-ht-detect``.
 
-Two modes of operation:
+A thin consumer of the session API (:mod:`repro.api`) with four subcommands::
 
-* verify a Verilog file::
+    repro-ht-detect run --benchmark AES-T1400 --json
+    repro-ht-detect run --verilog design.v --top my_accel --inputs din,key
+    repro-ht-detect batch --family RS232
+    repro-ht-detect list-benchmarks
+    repro-ht-detect report audit.json
 
-      repro-ht-detect --verilog design.v --top my_accel --inputs din,key
+``run`` audits one design (``--json`` emits the schema-versioned report,
+``--verbose`` streams per-property events as they settle), ``batch`` audits
+many designs in one process with cumulative solver statistics,
+``list-benchmarks`` prints the bundled Trust-Hub-style catalogue, and
+``report`` re-renders a previously saved JSON report.
 
-* verify one of the bundled Trust-Hub-style benchmarks::
+The pre-subcommand invocation style (``repro-ht-detect --verilog ...``) is
+still accepted and mapped onto ``run`` / ``list-benchmarks`` with a
+deprecation notice on stderr.
 
-      repro-ht-detect --benchmark AES-T1400
-      repro-ht-detect --list-benchmarks
+Exit codes: 0 — design(s) proven secure; 1 — a Trojan was suspected or
+signals stayed uncovered; 2 — usage, configuration, or I/O error.
 """
 
 from __future__ import annotations
@@ -18,24 +28,36 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core import DetectionConfig, Waiver, detect_trojans
+from repro.api import (
+    BatchReport,
+    BatchSession,
+    CexFound,
+    CexWaived,
+    ClassProven,
+    Design,
+    DetectionConfig,
+    DetectionReport,
+    DetectionSession,
+    PropertyScheduled,
+    RunEvent,
+    RunFinished,
+    RunStarted,
+    StructurallyDischarged,
+    Waiver,
+    parse_input_list,
+)
 from repro.errors import ReproError
-from repro.rtl import elaborate_source
 from repro.sat import available_backends, default_backend_name
 
+_SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report")
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-ht-detect",
-        description="Golden-free formal hardware-Trojan detection (DATE'24 reproduction)",
-    )
-    source = parser.add_mutually_exclusive_group(required=True)
-    source.add_argument("--verilog", metavar="FILE", help="Verilog source file to verify")
-    source.add_argument("--benchmark", metavar="NAME", help="bundled Trust-Hub-style benchmark name")
-    source.add_argument(
-        "--list-benchmarks", action="store_true", help="list the bundled benchmark designs and exit"
-    )
-    parser.add_argument("--top", help="top module name (required with --verilog)")
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+
+def _add_config_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--inputs",
         help="comma-separated list of data inputs to trace (default: all non-clock/reset inputs)",
@@ -48,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="assume 2-safety equality for SIGNAL (repeatable); see Sec. V-B of the paper",
     )
     parser.add_argument(
+        "--no-recommended-waivers",
+        action="store_true",
+        help="do not apply the benchmark's recommended waivers",
+    )
+    parser.add_argument(
         "--strict-paper-properties",
         action="store_true",
         help="assume only fanouts_CCk (not all previously proven classes) in fanout property k",
@@ -58,83 +85,303 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not stop at the first failing property",
     )
     parser.add_argument(
+        "--max-class",
+        type=int,
+        metavar="N",
+        help="upper bound on the number of fanout property classes to check",
+    )
+    parser.add_argument(
         "--solver-backend",
         default="auto",
         choices=["auto"] + available_backends(),
         help=f"SAT backend for the persistent solver context "
              f"(default: auto = {default_backend_name()})",
     )
-    parser.add_argument("--verbose", "-v", action="store_true", help="print per-property results")
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit the schema-versioned JSON report on stdout"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", help="also write the JSON report to FILE"
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="stream per-property run events as they settle",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ht-detect",
+        description="Golden-free formal hardware-Trojan detection (DATE'24 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    run_parser = subparsers.add_parser(
+        "run", help="audit one design (Verilog file or bundled benchmark)"
+    )
+    source = run_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--verilog", metavar="FILE", help="Verilog source file to verify")
+    source.add_argument(
+        "--benchmark", metavar="NAME", help="bundled Trust-Hub-style benchmark name"
+    )
+    run_parser.add_argument("--top", help="top module name (required with --verilog)")
+    _add_config_options(run_parser)
+    _add_output_options(run_parser)
+
+    batch_parser = subparsers.add_parser(
+        "batch", help="audit many bundled benchmarks in one process"
+    )
+    batch_parser.add_argument(
+        "benchmarks", nargs="*", metavar="BENCHMARK", help="benchmark names to audit"
+    )
+    batch_parser.add_argument(
+        "--family", action="append", default=[], metavar="FAMILY",
+        help="audit every benchmark of FAMILY (repeatable; AES, BasicRSA, RS232)",
+    )
+    batch_parser.add_argument(
+        "--all", action="store_true", help="audit every bundled benchmark"
+    )
+    batch_parser.add_argument(
+        "--clean-only", action="store_true",
+        help="restrict the selection to the Trojan-free designs",
+    )
+    _add_config_options(batch_parser)
+    _add_output_options(batch_parser)
+
+    list_parser = subparsers.add_parser(
+        "list-benchmarks", help="list the bundled benchmark designs and exit"
+    )
+    list_parser.add_argument(
+        "--family", metavar="FAMILY", help="restrict the listing to one family"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="re-render a saved JSON report (single-design or batch)"
+    )
+    report_parser.add_argument("file", metavar="FILE", help="JSON report produced with --json")
+    report_parser.add_argument(
+        "--json", action="store_true", help="re-emit the normalized JSON instead of the summary"
+    )
+
     return parser
 
 
-def _config_from_args(args: argparse.Namespace, default_inputs=None, default_waivers=()) -> DetectionConfig:
-    inputs = None
+def _normalise_argv(argv: List[str]) -> List[str]:
+    """Map the legacy flag-only invocation style onto the subcommands."""
+    if not argv or argv[0] in _SUBCOMMANDS or argv[0] in ("-h", "--help"):
+        return argv
+    if argv[0].startswith("-"):
+        if "--list-benchmarks" in argv:
+            rest = [arg for arg in argv if arg != "--list-benchmarks"]
+            return ["list-benchmarks"] + rest
+        print(
+            "repro-ht-detect: note: flag-only invocation is deprecated; "
+            "use the 'run' subcommand",
+            file=sys.stderr,
+        )
+        return ["run"] + argv
+    return argv
+
+
+# ---------------------------------------------------------------------- #
+# Shared helpers
+# ---------------------------------------------------------------------- #
+
+
+def _config_from_args(args: argparse.Namespace, design: Design) -> DetectionConfig:
     if args.inputs:
-        inputs = [name.strip() for name in args.inputs.split(",") if name.strip()]
-    elif default_inputs:
-        inputs = list(default_inputs)
+        inputs: Optional[List[str]] = parse_input_list(args.inputs)
+    else:
+        inputs = list(design.data_inputs) or None
     waivers = [Waiver(signal=name, reason="command line") for name in args.waive]
-    waivers.extend(Waiver(signal=name, reason="benchmark default") for name in default_waivers)
+    if not args.no_recommended_waivers:
+        waivers.extend(
+            Waiver(signal=name, reason=f"recommended for {design.name}")
+            for name in design.recommended_waivers
+        )
     return DetectionConfig(
         inputs=inputs,
         waivers=waivers,
         cumulative_assumptions=not args.strict_paper_properties,
         stop_at_first_failure=not args.check_all,
+        max_class=args.max_class,
         solver_backend=args.solver_backend,
     )
 
 
+def _print_event(event: RunEvent, file=None) -> None:
+    # With --json the event stream goes to stderr so that stdout stays a
+    # single machine-readable JSON document.
+    out = file if file is not None else sys.stdout
+    if isinstance(event, RunStarted):
+        print(f"{event.design}: {event.scheduled_classes} property classes "
+              f"({event.solver_backend} backend)", file=out)
+    elif isinstance(event, PropertyScheduled):
+        print(f"  scheduled {event.label} ({event.commitments} commitments)", file=out)
+    elif isinstance(event, StructurallyDischarged):
+        print(f"  {event.label:24s} holds  (structural, "
+              f"{event.outcome.result.runtime_seconds:.2f} s)", file=out)
+    elif isinstance(event, ClassProven):
+        result = event.outcome.result
+        print(f"  {event.label:24s} holds  ({result.runtime_seconds:.2f} s, "
+              f"{result.cnf_new_clauses} new / {result.cnf_reused_clauses} reused clauses)",
+              file=out)
+    elif isinstance(event, CexFound):
+        status = "spurious, auto-resolving" if event.auto_resolvable else "Trojan suspected"
+        print(f"  {event.label:24s} FAILS  (counterexample: {status})", file=out)
+    elif isinstance(event, CexWaived):
+        print(f"  {event.label:24s} waived spurious counterexample "
+              f"via {', '.join(event.signals)}", file=out)
+
+
+def _emit_json(args: argparse.Namespace, document: str, summary: str) -> None:
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+    if args.json:
+        print(document)
+    else:
+        print(summary)
+
+
+# ---------------------------------------------------------------------- #
+# Subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.benchmark:
+        design = Design.from_benchmark(args.benchmark)
+    else:
+        if not args.top:
+            parser.error("--top is required with --verilog")
+        design = Design.from_file(args.verilog, top=args.top)
+
+    session = DetectionSession(design, config=_config_from_args(args, design))
+    if args.verbose:
+        event_stream = sys.stderr if args.json else sys.stdout
+        for event in session.iter_results():
+            if not isinstance(event, RunFinished):
+                _print_event(event, file=event_stream)
+        report = session.report
+    else:
+        report = session.run()
+
+    _emit_json(args, report.to_json(), report.summary())
+    return 0 if report.is_secure else 1
+
+
+def _select_benchmarks(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List[str]:
+    from repro.trusthub import design_names, families
+
+    names: List[str] = list(args.benchmarks)
+    for family in args.family:
+        if family not in families():
+            parser.error(f"unknown family {family!r}; available: {', '.join(families())}")
+        names.extend(design_names(family=family))
+    if args.all:
+        names.extend(design_names())
+    if args.clean_only:
+        clean = set(design_names(with_trojan=False))
+        names = [name for name in names if name in clean]
+    if not names:
+        parser.error("batch needs benchmark names, --family, or --all")
+    unique: List[str] = []
+    for name in names:
+        if name not in unique:
+            unique.append(name)
+    return unique
+
+
+def _cmd_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    template: Optional[DetectionConfig] = None
+    if (args.inputs or args.waive or args.strict_paper_properties or args.check_all
+            or args.max_class is not None or args.solver_backend != "auto"):
+        template = DetectionConfig(
+            inputs=parse_input_list(args.inputs) if args.inputs else None,
+            waivers=[Waiver(signal=name, reason="command line") for name in args.waive],
+            cumulative_assumptions=not args.strict_paper_properties,
+            stop_at_first_failure=not args.check_all,
+            max_class=args.max_class,
+            solver_backend=args.solver_backend,
+        )
+    batch = BatchSession(
+        config=template,
+        use_recommended_waivers=not args.no_recommended_waivers,
+    )
+    if args.verbose:
+        event_stream = sys.stderr if args.json else sys.stdout
+        batch.subscribe(lambda event: _print_event(event, file=event_stream))
+    for name in _select_benchmarks(args, parser):
+        batch.add(name)
+
+    report = batch.run()
+    _emit_json(args, report.to_json(), report.summary())
+    return 0 if report.all_secure else 1
+
+
+def _cmd_list_benchmarks(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.trusthub import catalog, families
+
+    if args.family and args.family not in families():
+        parser.error(f"unknown family {args.family!r}; available: {', '.join(families())}")
+    for name, design in sorted(catalog().items()):
+        if args.family and design.family != args.family:
+            continue
+        trojan = "trojan" if design.has_trojan else "HT-free"
+        print(f"{name:18s} {design.family:9s} {trojan:8s} "
+              f"payload={design.payload:9s} trigger={design.trigger}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    import json as _json
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = _json.loads(text)
+    except _json.JSONDecodeError as error:
+        raise ReproError(f"{args.file!r} is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise ReproError(f"{args.file!r} does not look like a JSON report")
+    if "reports" in data:
+        batch = BatchReport.from_dict(data)
+        print(batch.to_json() if args.json else batch.summary())
+        return 0 if batch.all_secure else 1
+    report = DetectionReport.from_dict(data)
+    print(report.to_json() if args.json else report.summary())
+    return 0 if report.is_secure else 1
+
+
+# ---------------------------------------------------------------------- #
+# Entry point
+# ---------------------------------------------------------------------- #
+
+_HANDLERS = {
+    "run": _cmd_run,
+    "batch": _cmd_batch,
+    "list-benchmarks": _cmd_list_benchmarks,
+    "report": _cmd_report,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_normalise_argv(argv))
 
     try:
-        if args.list_benchmarks:
-            from repro.trusthub import catalog
-
-            for name, design in sorted(catalog().items()):
-                trojan = "trojan" if design.has_trojan else "HT-free"
-                print(f"{name:18s} {design.family:9s} {trojan:8s} "
-                      f"payload={design.payload:9s} trigger={design.trigger}")
-            return 0
-
-        if args.benchmark:
-            from repro.trusthub import load_design
-
-            design = load_design(args.benchmark)
-            module = design.elaborate()
-            config = _config_from_args(args, design.data_inputs, design.recommended_waivers)
-        else:
-            if not args.top:
-                parser.error("--top is required with --verilog")
-            with open(args.verilog, "r", encoding="utf-8") as handle:
-                source = handle.read()
-            module = elaborate_source(source, args.top)
-            config = _config_from_args(args)
-
-        report = detect_trojans(module, config)
+        return _HANDLERS[args.command](args, parser)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-
-    if args.verbose:
-        for outcome in report.outcomes:
-            status = "holds" if outcome.holds else "FAILS"
-            result = outcome.result
-            if result.solver_calls:
-                solving = (f"{result.cnf_new_clauses} new / "
-                           f"{result.cnf_reused_clauses} reused clauses")
-            else:
-                solving = "structural"
-            print(f"  {outcome.label:24s} {status:6s} "
-                  f"({result.runtime_seconds:.2f} s, "
-                  f"{len(result.prop.commitments)} commitments, {solving})")
-    print(report.summary())
-    return 0 if report.is_secure else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

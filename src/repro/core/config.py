@@ -5,6 +5,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.errors import ConfigError
+
+
+def validate_input_names(names: Sequence[str], source: str = "") -> None:
+    """Reject empty, whitespace-padded, or duplicate input signal names.
+
+    The single source of truth for input-list validation: used both by
+    :meth:`DetectionConfig.__post_init__` and by the CLI-facing
+    :func:`repro.api.parse_input_list`.  ``source`` names the offending
+    input list in error messages (e.g. the raw ``--inputs`` text).
+    """
+    where = f" in input list {source!r}" if source else ""
+    seen = set()
+    for name in names:
+        if not isinstance(name, str) or not name.strip():
+            raise ConfigError(
+                f"input names must be non-empty strings{where}, got {name!r}"
+            )
+        if name != name.strip():
+            raise ConfigError(
+                f"input name {name!r}{where} has surrounding whitespace; strip it first"
+            )
+        if name in seen:
+            raise ConfigError(f"duplicate input signal {name!r}{where}")
+        seen.add(name)
+
 
 @dataclass(frozen=True)
 class Waiver:
@@ -67,6 +93,20 @@ class DetectionConfig:
     stop_at_first_failure: bool = True
     max_class: Optional[int] = None
     solver_backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
+        from repro.sat.backend import available_backends
+
+        if self.solver_backend != "auto" and self.solver_backend not in available_backends():
+            raise ConfigError(
+                f"unknown solver backend {self.solver_backend!r}; "
+                f"available: auto, {', '.join(available_backends())}"
+            )
+        if self.max_class is not None and self.max_class < 0:
+            raise ConfigError(f"max_class must be >= 0, got {self.max_class}")
+        if self.inputs is not None:
+            validate_input_names(self.inputs)
 
     def waived_signals(self) -> List[str]:
         return [waiver.signal for waiver in self.waivers]

@@ -1,0 +1,169 @@
+"""Typed run events emitted by the detection scheduler.
+
+The batched scheduler of :class:`repro.core.flow.TrojanDetectionFlow` no
+longer accumulates results privately: it *emits* one event stream per run,
+and every consumer — the streaming :meth:`repro.api.DetectionSession.iter_results`
+generator, progress bars, telemetry hooks, the CLI's verbose mode — observes
+the same typed events.  The lifecycle of one run is::
+
+    RunStarted
+      PropertyScheduled(k)            for every class k, in class order
+        StructurallyDischarged(k)       settled on the AIG, no SAT involved
+        -- or, during the SAT phase, still in class order --
+        CexFound(k)                     a counterexample was found
+        CexWaived(k)                    ... and resolved as spurious (Sec. V-B)
+        ClassProven(k)                  the class holds after SAT search
+    RunFinished(report)
+
+Every scheduled class produces a ``PropertyScheduled`` event and at most one
+terminal event (``StructurallyDischarged``, ``ClassProven``, or a final
+unresolved ``CexFound``); ``CexFound``/``CexWaived`` pairs may repeat while
+spurious counterexamples are being strengthened away.  When the run stops at
+the first failure (``DetectionConfig.stop_at_first_failure``, the default),
+classes scheduled after the failing one are abandoned without a terminal
+event — progress consumers should treat ``RunFinished`` (always the last
+event, carrying the complete report) as the end of the stream, not a
+terminal-event count.
+
+These classes are re-exported as the public :mod:`repro.api.events` surface;
+they live here so that :mod:`repro.core.flow` can emit them without importing
+the (higher-level) API package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.falsealarm import CexDiagnosis
+    from repro.core.report import DetectionReport, PropertyOutcome
+    from repro.ipc.cex import CounterExample
+
+
+def class_label(index: int) -> str:
+    """Human-readable name of property class ``index`` (0 = init property)."""
+    return "init property" if index == 0 else f"fanout property {index}"
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class of all events of one detection run."""
+
+    design: str
+
+
+@dataclass(frozen=True)
+class RunStarted(RunEvent):
+    """The scheduler is about to settle ``scheduled_classes`` property classes."""
+
+    scheduled_classes: int
+    solver_backend: str
+
+
+@dataclass(frozen=True)
+class ClassEvent(RunEvent):
+    """Base class of per-property-class events."""
+
+    index: int
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index)
+
+
+@dataclass(frozen=True)
+class PropertyScheduled(ClassEvent):
+    """A property was built and scheduled (emitted in class order)."""
+
+    kind: str  # "init" or "fanout"
+    property_name: str
+    commitments: int
+
+
+@dataclass(frozen=True)
+class StructurallyDischarged(ClassEvent):
+    """The class was settled on the shared AIG without any SAT search."""
+
+    outcome: "PropertyOutcome"
+
+
+@dataclass(frozen=True)
+class ClassProven(ClassEvent):
+    """The class's remaining SAT obligations were proven unsatisfiable."""
+
+    outcome: "PropertyOutcome"
+
+
+@dataclass(frozen=True)
+class CexFound(ClassEvent):
+    """The SAT search produced a counterexample for this class.
+
+    ``auto_resolvable`` tells the consumer whether the scheduler will resolve
+    it automatically (a ``CexWaived`` event follows) or whether this is the
+    class's terminal event — a suspected Trojan or a dependency that needs
+    engineering review.
+    """
+
+    cex: "CounterExample"
+    diagnosis: "CexDiagnosis"
+    auto_resolvable: bool
+
+
+@dataclass(frozen=True)
+class CexWaived(ClassEvent):
+    """A spurious counterexample was discharged by strengthened assumptions.
+
+    The named signals are proven equal by another property of the same run
+    (Sec. V-B scenario 1); their equalities were added and the class is being
+    re-verified against the shared solver context.
+    """
+
+    signals: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RunFinished(RunEvent):
+    """The run is complete; ``report`` is the final detection report."""
+
+    report: "DetectionReport"
+
+
+Subscriber = Callable[[RunEvent], None]
+
+
+class EventBus:
+    """A small synchronous subscriber registry for run events.
+
+    Callbacks run inline on the emitting thread, in subscription order;
+    exceptions propagate to the emitter (an observer that must never abort a
+    run should catch its own errors).  ``subscribe`` returns an unsubscribe
+    callable, in the spirit of scrapy's signal manager.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: List[Tuple[Optional[Type[RunEvent]], Subscriber]] = []
+
+    def subscribe(
+        self,
+        callback: Subscriber,
+        event_type: Optional[Type[RunEvent]] = None,
+    ) -> Callable[[], None]:
+        """Register ``callback`` for ``event_type`` (or all events when None)."""
+        entry = (event_type, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    def emit(self, event: RunEvent) -> None:
+        """Deliver ``event`` to every matching subscriber."""
+        for event_type, callback in list(self._subscribers):
+            if event_type is None or isinstance(event, event_type):
+                callback(event)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

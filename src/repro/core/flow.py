@@ -1,4 +1,4 @@
-"""Algorithm 1 as a batched property scheduler over a shared solver context.
+"""Algorithm 1 as an event-emitting batched property scheduler.
 
 The flow builds one property per fanout class (plus the init property) and
 settles them in two phases over the engine's shared, structurally hashed AIG:
@@ -14,15 +14,34 @@ Every failing property yields a counterexample together with a diagnosis
 (Sec. V-B); causes that are provable by another property of the same run are
 resolved automatically by re-verification with strengthened assumptions,
 everything else is reported to the user.
+
+The scheduler does not accumulate results privately: :meth:`TrojanDetectionFlow.events`
+is a generator that emits the typed events of :mod:`repro.core.events`
+(``PropertyScheduled``, ``StructurallyDischarged``, ``CexFound``, ``CexWaived``,
+``ClassProven``, ``RunFinished``) as each class settles, which is what the
+streaming :meth:`repro.api.DetectionSession.iter_results` surface consumes.
+:meth:`TrojanDetectionFlow.run` simply drains that generator and returns the
+final report.
 """
 
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.config import DetectionConfig
 from repro.core.coverage import check_signal_coverage
+from repro.core.events import (
+    CexFound,
+    CexWaived,
+    ClassProven,
+    PropertyScheduled,
+    RunEvent,
+    RunFinished,
+    RunStarted,
+    StructurallyDischarged,
+)
 from repro.core.falsealarm import CexDiagnosis, diagnose_counterexample
 from repro.core.properties import build_fanout_property, build_init_property
 from repro.core.report import DetectionReport, PropertyOutcome, Verdict
@@ -36,11 +55,23 @@ from repro.rtl.netlist import DependencyGraph
 class TrojanDetectionFlow:
     """Runs the batched detection flow of Algorithm 1 on one module."""
 
-    def __init__(self, module: Module, config: Optional[DetectionConfig] = None) -> None:
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[DetectionConfig] = None,
+        design_name: Optional[str] = None,
+        analysis: Optional[FanoutAnalysis] = None,
+    ) -> None:
         self._module = module
+        # Reports and events carry the *design* name (e.g. the benchmark
+        # name), which the session API may set to something more specific
+        # than the top module's identifier.
+        self._design_name = design_name or module.name
         self._config = config or DetectionConfig()
         self._graph = DependencyGraph(module)
-        self._analysis = compute_fanout_classes(
+        # A pre-computed fanout analysis (e.g. Design.analysis()'s cache) may
+        # be passed in; it must match the config's traced inputs.
+        self._analysis = analysis if analysis is not None else compute_fanout_classes(
             module, inputs=self._config.inputs, graph=self._graph
         )
         self._engine = IpcEngine(module, solver_backend=self._config.solver_backend)
@@ -71,9 +102,26 @@ class TrojanDetectionFlow:
 
     def run(self) -> DetectionReport:
         """Execute the complete flow and return the detection report."""
+        report: Optional[DetectionReport] = None
+        for event in self.events():
+            if isinstance(event, RunFinished):
+                report = event.report
+        assert report is not None  # events() always ends with RunFinished
+        return report
+
+    def events(self) -> Iterator[RunEvent]:
+        """Execute the flow lazily, emitting one typed event per step.
+
+        The generator *is* the run: properties settle as the consumer
+        iterates, so a caller can render progress, collect telemetry, or
+        abandon the iteration for an early abort while the SAT phase is
+        still running.  The final event is always :class:`RunFinished`
+        carrying the complete report.
+        """
+        design = self._design_name
         started = _time.perf_counter()
         report = DetectionReport(
-            design=self._module.name,
+            design=design,
             verdict=Verdict.SECURE,
             fanout_analysis=self._analysis,
         )
@@ -81,6 +129,12 @@ class TrojanDetectionFlow:
         depth = self._analysis.placement_depth
         if self._config.max_class is not None:
             depth = min(depth, self._config.max_class)
+
+        yield RunStarted(
+            design=design,
+            scheduled_classes=depth,
+            solver_backend=self._engine.solver_context.backend_name,
+        )
 
         # Phase 1 — structural pass over every scheduled class on the shared
         # AIG.  Discharged classes are settled here without any SAT work;
@@ -90,6 +144,13 @@ class TrojanDetectionFlow:
         for k in range(0, depth):
             kind = "init" if k == 0 else "fanout"
             prop = self._build_property(k)
+            yield PropertyScheduled(
+                design=design,
+                index=k,
+                kind=kind,
+                property_name=prop.name,
+                commitments=len(prop.commitments),
+            )
             if not prop.commitments:
                 # Nothing to prove for this class; trivially holds.
                 outcomes[k] = PropertyOutcome(
@@ -97,12 +158,14 @@ class TrojanDetectionFlow:
                     index=k,
                     result=PropertyCheckResult(prop=prop, holds=True, structurally_proven=True),
                 )
+                yield StructurallyDischarged(design=design, index=k, outcome=outcomes[k])
                 continue
             prepared = self._engine.begin_check(prop)
             if prepared.discharged:
                 outcomes[k] = PropertyOutcome(
                     kind=kind, index=k, result=self._engine.finish_check(prepared)
                 )
+                yield StructurallyDischarged(design=design, index=k, outcome=outcomes[k])
             else:
                 sat_queue.append((k, prepared))
 
@@ -112,9 +175,11 @@ class TrojanDetectionFlow:
         stopped_early = False
         failed_class: Optional[int] = None
         for k, prepared in sat_queue:
-            outcome = self._settle_with_sat(k, prepared)
+            outcome = yield from self._settle_with_sat(k, prepared)
             outcomes[k] = outcome
-            if not outcome.holds:
+            if outcome.holds:
+                yield ClassProven(design=design, index=k, outcome=outcome)
+            else:
                 report.verdict = Verdict.TROJAN_SUSPECTED
                 report.detected_by = outcome.label
                 report.counterexample = outcome.result.cex
@@ -138,7 +203,8 @@ class TrojanDetectionFlow:
         self._record_solver_stats(report)
         if stopped_early:
             report.total_runtime_seconds = _time.perf_counter() - started
-            return report
+            yield RunFinished(design=design, report=report)
+            return
 
         # Coverage check (Algorithm 1, line 17): only meaningful when no
         # property already failed.
@@ -149,14 +215,14 @@ class TrojanDetectionFlow:
             report.detected_by = "coverage check"
 
         report.total_runtime_seconds = _time.perf_counter() - started
-        return report
+        yield RunFinished(design=design, report=report)
 
     def _record_solver_stats(self, report: DetectionReport) -> None:
-        context = self._engine.solver_context
-        report.solver_backend = context.backend_name
-        report.solver_calls = context.solve_calls
-        report.solver_conflicts = context.cumulative_conflicts
-        report.cnf_clauses = context.num_clauses
+        stats = self._engine.stats()
+        report.solver_backend = stats["backend"]
+        report.solver_calls = stats["solver_calls"]
+        report.solver_conflicts = stats["conflicts"]
+        report.cnf_clauses = stats["cnf_clauses"]
         report.cnf_clauses_reused = sum(
             outcome.result.cnf_reused_clauses for outcome in report.outcomes
         )
@@ -170,8 +236,13 @@ class TrojanDetectionFlow:
             return build_init_property(self._module, self._analysis, self._config)
         return build_fanout_property(self._module, self._analysis, k, self._config)
 
-    def _settle_with_sat(self, k: int, prepared: PreparedCheck) -> PropertyOutcome:
+    def _settle_with_sat(self, k: int, prepared: PreparedCheck) -> Iterator[RunEvent]:
         """Settle the SAT obligations of class ``k`` (0 = init property).
+
+        A generator: emits a :class:`CexFound` event for every counterexample
+        the solver produces and a :class:`CexWaived` event whenever one is
+        resolved by re-verification with strengthened assumptions; its return
+        value (via ``yield from``) is the class's final outcome.
 
         If the property fails, the counterexample is diagnosed; when every
         cause is provable by another property of the run (Sec. V-B scenario 1)
@@ -180,6 +251,7 @@ class TrojanDetectionFlow:
         Re-verification runs full checks against the same shared solver
         context, so the strengthened property reuses all encoded clauses.
         """
+        design = self._design_name
         kind = "init" if k == 0 else "fanout"
         prop = prepared.prop
         resolved = 0
@@ -200,6 +272,14 @@ class TrojanDetectionFlow:
                     if signal not in extra_assumptions
                 ]
                 if new_assumptions:
+                    yield CexFound(
+                        design=design,
+                        index=k,
+                        cex=result.cex,
+                        diagnosis=diagnosis,
+                        auto_resolvable=True,
+                    )
+                    yield CexWaived(design=design, index=k, signals=tuple(new_assumptions))
                     extra_assumptions.extend(new_assumptions)
                     resolved += 1
                     prop = self._build_property(k)
@@ -207,6 +287,13 @@ class TrojanDetectionFlow:
                         prop.assume_equal(signal, 0)
                     result = self._engine.check(prop)
                     continue
+            yield CexFound(
+                design=design,
+                index=k,
+                cex=result.cex,
+                diagnosis=diagnosis,
+                auto_resolvable=False,
+            )
             return PropertyOutcome(
                 kind=kind,
                 index=k,
@@ -217,5 +304,22 @@ class TrojanDetectionFlow:
 
 
 def detect_trojans(module: Module, config: Optional[DetectionConfig] = None) -> DetectionReport:
-    """Convenience wrapper: run Algorithm 1 on ``module`` and return the report."""
-    return TrojanDetectionFlow(module, config).run()
+    """Run Algorithm 1 on ``module`` and return the report.
+
+    .. deprecated::
+        ``detect_trojans`` is kept as a thin compatibility shim; new code
+        should use the session API::
+
+            from repro.api import Design, DetectionSession
+
+            report = DetectionSession(Design.from_module(module), config).run()
+    """
+    warnings.warn(
+        "detect_trojans() is deprecated; use repro.api.DetectionSession "
+        "(see ARCHITECTURE.md for the migration path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api import DetectionSession
+
+    return DetectionSession(module, config=config).run()

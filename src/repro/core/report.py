@@ -1,16 +1,30 @@
-"""Verdicts and detection reports produced by the flow."""
+"""Verdicts and detection reports produced by the flow.
+
+Reports are serializable: :meth:`DetectionReport.to_dict` produces a
+JSON-native dict stamped with :data:`SCHEMA_VERSION`, and
+:meth:`DetectionReport.from_dict` reconstructs a report such that
+``from_dict(to_dict(r)).to_dict() == to_dict(r)`` — the round-trip contract
+the CLI's ``--json`` output and the ``report`` subcommand rely on.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.coverage import CoverageResult
-from repro.core.falsealarm import CexDiagnosis
+from repro.core.falsealarm import Cause, CauseKind, CexDiagnosis
+from repro.errors import ReproError
 from repro.ipc.cex import CounterExample
 from repro.ipc.engine import PropertyCheckResult
+from repro.ipc.prop import IntervalProperty
 from repro.rtl.fanout import FanoutAnalysis
+
+#: Version of the serialized report schema.  Bump on any incompatible change
+#: to the dict layout; ``from_dict`` refuses versions it does not know.
+SCHEMA_VERSION = 1
 
 
 class Verdict(Enum):
@@ -107,6 +121,85 @@ class DetectionReport:
         }
 
     # ------------------------------------------------------------------ #
+    # Serialization (schema_version = SCHEMA_VERSION)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native dict of the complete report, stamped with the schema version."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "design": self.design,
+            "verdict": self.verdict.value,
+            "detected_by": self.detected_by,
+            "total_runtime_seconds": self.total_runtime_seconds,
+            "spurious_resolved": self.spurious_resolved,
+            "solver": {
+                "backend": self.solver_backend,
+                "calls": self.solver_calls,
+                "conflicts": self.solver_conflicts,
+                "cnf_clauses": self.cnf_clauses,
+                "cnf_clauses_reused": self.cnf_clauses_reused,
+            },
+            "outcomes": [_outcome_to_dict(outcome) for outcome in self.outcomes],
+            "counterexample": _cex_to_dict(self.counterexample),
+            "diagnosis": _diagnosis_to_dict(self.diagnosis),
+            "coverage": _coverage_to_dict(self.coverage),
+            "fanout_analysis": _fanout_to_dict(self.fanout_analysis),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The report as a JSON document (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DetectionReport":
+        """Reconstruct a report from :meth:`to_dict` output.
+
+        Raises :class:`repro.errors.ReproError` on a missing or unsupported
+        ``schema_version`` so that consumers fail loudly on foreign data.
+        """
+        if not isinstance(data, dict):
+            raise ReproError(f"serialized report must be a dict, got {type(data).__name__}")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported report schema_version {version!r} "
+                f"(this library reads version {SCHEMA_VERSION})"
+            )
+        try:
+            verdict = Verdict(data["verdict"])
+            solver = data.get("solver", {})
+            report = cls(
+                design=data["design"],
+                verdict=verdict,
+                detected_by=data.get("detected_by"),
+                outcomes=[_outcome_from_dict(entry) for entry in data.get("outcomes", [])],
+                counterexample=_cex_from_dict(data.get("counterexample")),
+                diagnosis=_diagnosis_from_dict(data.get("diagnosis")),
+                coverage=_coverage_from_dict(data.get("coverage")),
+                fanout_analysis=_fanout_from_dict(data.get("fanout_analysis")),
+                total_runtime_seconds=data.get("total_runtime_seconds", 0.0),
+                spurious_resolved=data.get("spurious_resolved", 0),
+                solver_backend=solver.get("backend", ""),
+                solver_calls=solver.get("calls", 0),
+                solver_conflicts=solver.get("conflicts", 0),
+                cnf_clauses=solver.get("cnf_clauses", 0),
+                cnf_clauses_reused=solver.get("cnf_clauses_reused", 0),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ReproError(f"malformed serialized report: {error}") from error
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "DetectionReport":
+        """Reconstruct a report from a :meth:`to_json` document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(f"report is not valid JSON: {error}") from error
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #
 
@@ -138,3 +231,173 @@ class DetectionReport:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.summary()
+
+
+# ---------------------------------------------------------------------- #
+# Serialization helpers (module-private; the public surface is
+# DetectionReport.to_dict / from_dict).  Every producer emits only
+# JSON-native values so that ``to_dict() == json.loads(to_json())``.
+# ---------------------------------------------------------------------- #
+
+
+def _outcome_to_dict(outcome: PropertyOutcome) -> Dict[str, Any]:
+    result = outcome.result
+    return {
+        "kind": outcome.kind,
+        "index": outcome.index,
+        "property": result.prop.name,
+        "holds": result.holds,
+        "structurally_proven": result.structurally_proven,
+        "runtime_seconds": result.runtime_seconds,
+        "resolved_spurious": outcome.resolved_spurious,
+        "sat_conflicts": result.sat_conflicts,
+        "sat_decisions": result.sat_decisions,
+        "merged_assumptions": result.merged_assumptions,
+        "clause_assumptions": result.clause_assumptions,
+        "cnf_new_clauses": result.cnf_new_clauses,
+        "cnf_reused_clauses": result.cnf_reused_clauses,
+        "solver_calls": result.solver_calls,
+        "counterexample": _cex_to_dict(result.cex),
+    }
+
+
+def _outcome_from_dict(data: Dict[str, Any]) -> PropertyOutcome:
+    # The property itself is not serialized (it is reconstructible from the
+    # design and the class index); a named stub keeps labels and summaries
+    # working on deserialized reports.
+    result = PropertyCheckResult(
+        prop=IntervalProperty(name=data["property"]),
+        holds=data["holds"],
+        cex=_cex_from_dict(data.get("counterexample")),
+        structurally_proven=data.get("structurally_proven", False),
+        runtime_seconds=data.get("runtime_seconds", 0.0),
+        sat_conflicts=data.get("sat_conflicts", 0),
+        sat_decisions=data.get("sat_decisions", 0),
+        merged_assumptions=data.get("merged_assumptions", 0),
+        clause_assumptions=data.get("clause_assumptions", 0),
+        cnf_new_clauses=data.get("cnf_new_clauses", 0),
+        cnf_reused_clauses=data.get("cnf_reused_clauses", 0),
+        solver_calls=data.get("solver_calls", 0),
+    )
+    return PropertyOutcome(
+        kind=data["kind"],
+        index=data["index"],
+        result=result,
+        resolved_spurious=data.get("resolved_spurious", 0),
+    )
+
+
+def _cex_to_dict(cex: Optional[CounterExample]) -> Optional[Dict[str, Any]]:
+    if cex is None:
+        return None
+    return {
+        "property_name": cex.property_name,
+        "failing_signals": [
+            [signal, time, left, right] for signal, time, left, right in cex.failing_signals
+        ],
+        "values": [
+            [instance, time, signal, value]
+            for (instance, time, signal), value in sorted(cex.values.items())
+        ],
+    }
+
+
+def _cex_from_dict(data: Optional[Dict[str, Any]]) -> Optional[CounterExample]:
+    if data is None:
+        return None
+    return CounterExample(
+        property_name=data["property_name"],
+        failing_signals=[
+            (signal, time, left, right) for signal, time, left, right in data["failing_signals"]
+        ],
+        values={
+            (instance, time, signal): value
+            for instance, time, signal, value in data["values"]
+        },
+    )
+
+
+def _diagnosis_to_dict(diagnosis: Optional[CexDiagnosis]) -> Optional[Dict[str, Any]]:
+    if diagnosis is None:
+        return None
+    return {
+        "property": diagnosis.prop.name,
+        "failing_signals": list(diagnosis.failing_signals),
+        "counterexample": _cex_to_dict(diagnosis.cex),
+        "causes": [
+            {
+                "signal": cause.signal,
+                "kind": cause.kind.value,
+                "covered_class": cause.covered_class,
+                "value_instance1": cause.value_instance1,
+                "value_instance2": cause.value_instance2,
+            }
+            for cause in diagnosis.causes
+        ],
+    }
+
+
+def _diagnosis_from_dict(data: Optional[Dict[str, Any]]) -> Optional[CexDiagnosis]:
+    if data is None:
+        return None
+    return CexDiagnosis(
+        prop=IntervalProperty(name=data["property"]),
+        cex=_cex_from_dict(data.get("counterexample")),
+        causes=[
+            Cause(
+                signal=entry["signal"],
+                kind=CauseKind(entry["kind"]),
+                covered_class=entry.get("covered_class"),
+                value_instance1=entry.get("value_instance1"),
+                value_instance2=entry.get("value_instance2"),
+            )
+            for entry in data.get("causes", [])
+        ],
+        failing_signals=list(data.get("failing_signals", [])),
+    )
+
+
+def _coverage_to_dict(coverage: Optional[CoverageResult]) -> Optional[Dict[str, Any]]:
+    if coverage is None:
+        return None
+    return {
+        "covered": sorted(coverage.covered),
+        "uncovered": sorted(coverage.uncovered),
+        "influence": {
+            signal: sorted(influenced) for signal, influenced in sorted(coverage.influence.items())
+        },
+    }
+
+
+def _coverage_from_dict(data: Optional[Dict[str, Any]]) -> Optional[CoverageResult]:
+    if data is None:
+        return None
+    return CoverageResult(
+        covered=set(data.get("covered", [])),
+        uncovered=set(data.get("uncovered", [])),
+        influence={signal: set(values) for signal, values in data.get("influence", {}).items()},
+    )
+
+
+def _fanout_to_dict(analysis: Optional[FanoutAnalysis]) -> Optional[Dict[str, Any]]:
+    if analysis is None:
+        return None
+    return {
+        "inputs": list(analysis.inputs),
+        "classes": {str(k): sorted(signals) for k, signals in sorted(analysis.classes.items())},
+        "distance": {signal: analysis.distance[signal] for signal in sorted(analysis.distance)},
+        "placement": {signal: analysis.placement[signal] for signal in sorted(analysis.placement)},
+        "uncovered": sorted(analysis.uncovered),
+    }
+
+
+def _fanout_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FanoutAnalysis]:
+    if data is None:
+        return None
+    return FanoutAnalysis(
+        classes={int(k): set(signals) for k, signals in data.get("classes", {}).items()},
+        distance=dict(data.get("distance", {})),
+        uncovered=set(data.get("uncovered", [])),
+        inputs=list(data.get("inputs", [])),
+        placement=dict(data.get("placement", {})),
+    )

@@ -52,5 +52,14 @@ class SimulationError(ReproError):
     """Raised by the RTL simulator on missing stimuli or X-propagation issues."""
 
 
+class ConfigError(ReproError):
+    """Raised when a :class:`repro.core.config.DetectionConfig` is invalid.
+
+    Misconfiguration (unknown solver backend, negative class bound, malformed
+    input lists) fails at construction time so that a bad config never makes
+    it into the middle of a long verification run.
+    """
+
+
 class DesignError(ReproError):
     """Raised when a benchmark design cannot be generated or validated."""

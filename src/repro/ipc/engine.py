@@ -135,6 +135,23 @@ class IpcEngine:
     def solver_context(self) -> SolverContext:
         return self._context
 
+    def stats(self) -> Dict[str, object]:
+        """Snapshot of the engine's shared solver-context statistics.
+
+        One flat dict so that schedulers and reports never need to reach into
+        the context object: backend name, number of SAT calls issued, total
+        conflicts, and the size of the persistent CNF encoding.
+        """
+        context = self._context
+        return {
+            "backend": context.backend_name,
+            "solver_calls": context.solve_calls,
+            "conflicts": context.cumulative_conflicts,
+            "cnf_vars": context.num_vars,
+            "cnf_clauses": context.num_clauses,
+            "aig_nodes": self._encoder.aig.num_nodes,
+        }
+
     # ------------------------------------------------------------------ #
     # Frame management
     # ------------------------------------------------------------------ #

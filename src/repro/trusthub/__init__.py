@@ -21,8 +21,16 @@ from repro.trusthub.registry import (
     TrustHubDesign,
     catalog,
     design_names,
+    families,
     load_design,
     load_module,
 )
 
-__all__ = ["TrustHubDesign", "catalog", "design_names", "load_design", "load_module"]
+__all__ = [
+    "TrustHubDesign",
+    "catalog",
+    "design_names",
+    "families",
+    "load_design",
+    "load_module",
+]

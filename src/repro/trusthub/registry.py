@@ -162,6 +162,11 @@ def catalog() -> Dict[str, TrustHubDesign]:
     return dict(_CATALOG_CACHE)
 
 
+def families() -> List[str]:
+    """The benchmark families in the catalogue (``AES``, ``BasicRSA``, ``RS232``)."""
+    return sorted({design.family for design in catalog().values()})
+
+
 def design_names(family: Optional[str] = None, with_trojan: Optional[bool] = None) -> List[str]:
     """Names of catalogued designs, optionally filtered by family / Trojan presence."""
     names = []

@@ -26,6 +26,7 @@ def test_examples_directory_contents():
         "verify_clean_design.py",
         "custom_accelerator_audit.py",
         "export_counterexample_waveform.py",
+        "batch_audit_all_benchmarks.py",
     } <= names
 
 
@@ -56,6 +57,15 @@ def test_export_counterexample_waveform_runs(tmp_path, capsys, monkeypatch):
     assert "replay confirmed" in output
     assert (tmp_path / "aes_t2500_instance1.vcd").exists()
     assert (tmp_path / "aes_t2500_instance2.vcd").exists()
+
+
+def test_batch_audit_runs_for_one_family(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["batch_audit_all_benchmarks.py", "RS232"])
+    _load_example("batch_audit_all_benchmarks").main()
+    output = capsys.readouterr().out
+    assert "batch audit:" in output
+    assert "RS232-HT-FREE" in output
+    assert "every Trojan-infested design in the selection was flagged." in output
 
 
 @pytest.mark.slow

@@ -1,11 +1,14 @@
-"""Tests for configuration objects, report rendering and the error hierarchy."""
+"""Tests for configuration objects, report rendering/serialization and errors."""
+
+import json
 
 import pytest
 
 from repro.core import DetectionConfig, Verdict, Waiver, detect_trojans
-from repro.core.report import DetectionReport
+from repro.core.report import SCHEMA_VERSION, DetectionReport
 from repro.errors import (
     BitblastError,
+    ConfigError,
     DesignError,
     ElaborationError,
     PropertyError,
@@ -41,6 +44,105 @@ class TestDetectionConfig:
         waiver = Waiver("x")
         with pytest.raises(Exception):
             waiver.signal = "y"  # type: ignore[misc]
+
+
+class TestConfigValidation:
+    """Misconfiguration fails at construction, not mid-run."""
+
+    def test_unknown_solver_backend(self):
+        with pytest.raises(ConfigError, match="unknown solver backend"):
+            DetectionConfig(solver_backend="z3")
+
+    def test_known_backends_accepted(self):
+        assert DetectionConfig(solver_backend="auto").solver_backend == "auto"
+        assert DetectionConfig(solver_backend="python").solver_backend == "python"
+
+    def test_negative_max_class(self):
+        with pytest.raises(ConfigError, match="max_class"):
+            DetectionConfig(max_class=-1)
+        assert DetectionConfig(max_class=0).max_class == 0
+
+    def test_empty_input_name(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            DetectionConfig(inputs=["a", ""])
+
+    def test_whitespace_input_name(self):
+        with pytest.raises(ConfigError, match="whitespace"):
+            DetectionConfig(inputs=[" a "])
+
+    def test_duplicate_input_name(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            DetectionConfig(inputs=["a", "b", "a"])
+
+    def test_config_error_is_repro_error(self):
+        assert issubclass(ConfigError, ReproError)
+
+
+class TestReportSerialization:
+    def test_secure_report_json_round_trip(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        data = report.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        restored = DetectionReport.from_dict(json.loads(report.to_json()))
+        assert restored.to_dict() == data
+        assert restored.verdict is Verdict.SECURE
+        assert restored.design == report.design
+
+    def test_failing_report_round_trips_cex_and_diagnosis(self, trojaned_module):
+        report = detect_trojans(trojaned_module)
+        restored = DetectionReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.trojan_detected
+        assert restored.counterexample is not None
+        assert restored.counterexample.failing_signals == report.counterexample.failing_signals
+        assert restored.counterexample.values == report.counterexample.values
+        assert restored.diagnosis is not None
+        assert [c.signal for c in restored.diagnosis.causes] == [
+            c.signal for c in report.diagnosis.causes
+        ]
+
+    def test_round_trip_preserves_summary_queries(self, trojaned_module):
+        report = detect_trojans(trojaned_module)
+        restored = DetectionReport.from_json(report.to_json())
+        assert restored.property_runtimes() == report.property_runtimes()
+        assert restored.solver_stats() == report.solver_stats()
+        assert restored.failing_outcome().label == report.failing_outcome().label
+        assert restored.summary()  # renders without the original objects
+
+    def test_uncovered_report_round_trips_coverage(self, uncovered_trojan_module):
+        report = detect_trojans(uncovered_trojan_module)
+        assert report.verdict is Verdict.UNCOVERED_SIGNALS
+        restored = DetectionReport.from_json(report.to_json())
+        assert restored.to_dict() == report.to_dict()
+        assert restored.coverage.uncovered == report.coverage.uncovered
+
+    def test_fanout_analysis_round_trips(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        restored = DetectionReport.from_json(report.to_json())
+        assert restored.fanout_analysis.classes == report.fanout_analysis.classes
+        assert restored.fanout_analysis.placement == report.fanout_analysis.placement
+
+    def test_from_dict_rejects_unknown_version(self, pipeline_module):
+        data = detect_trojans(pipeline_module).to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ReproError, match="schema_version"):
+            DetectionReport.from_dict(data)
+
+    def test_from_dict_rejects_missing_version(self):
+        with pytest.raises(ReproError, match="schema_version"):
+            DetectionReport.from_dict({"design": "x", "verdict": "secure"})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ReproError, match="dict"):
+            DetectionReport.from_dict(["not", "a", "report"])
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(ReproError, match="JSON"):
+            DetectionReport.from_json("this is not json")
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(ReproError, match="malformed"):
+            DetectionReport.from_dict({"schema_version": SCHEMA_VERSION, "verdict": "secure"})
 
 
 class TestDetectionReport:
