@@ -1,0 +1,154 @@
+"""Parallel-scaling and warm-cache benchmark of the execution subsystem.
+
+Audits a set of bundled Trust-Hub-style benchmarks four ways — cold at 1, 2
+and 4 workers, then a warm-cache rerun — and emits ``BENCH_parallel.json``
+with wall-clock times, speedups over the serial baseline, and cache-hit
+accounting.  It also asserts that every configuration produces the same
+normalized (telemetry-stripped) batch report, i.e. that parallelism and
+caching never change a verdict.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --family RS232 --family BasicRSA --output BENCH_parallel.json
+
+This is a standalone artefact script (plain timings, one JSON document), not
+a pytest-benchmark suite like its siblings: its output feeds dashboards and
+CI trend lines rather than statistical micro-comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+from repro.api import BatchSession, DetectionConfig
+from repro.exec import normalized_batch_report_dict
+from repro.trusthub import design_names
+
+DEFAULT_JOB_COUNTS = (1, 2, 4)
+
+
+def _select_benchmarks(families: List[str]) -> List[str]:
+    if not families:
+        return design_names()
+    names: List[str] = []
+    for family in families:
+        names.extend(design_names(family=family))
+    return names
+
+
+def _audit(
+    benchmarks: List[str], jobs: int, cache_dir: Optional[str]
+) -> Dict[str, object]:
+    config = DetectionConfig(jobs=jobs, cache_dir=cache_dir)
+    batch = BatchSession(benchmarks, config=config)
+    started = time.perf_counter()
+    report = batch.run()
+    elapsed = time.perf_counter() - started
+    cache = report.cache_stats()
+    return {
+        "jobs": jobs,
+        "elapsed_s": elapsed,
+        "designs": report.designs_audited,
+        "verdicts": report.verdict_counts(),
+        "cache_hits": cache["cache_hits"],
+        "cache_misses": cache["cache_misses"],
+        "normalized": normalized_batch_report_dict(report.to_dict()),
+    }
+
+
+def run_benchmark(
+    benchmarks: List[str], job_counts=DEFAULT_JOB_COUNTS
+) -> Dict[str, object]:
+    runs: List[Dict[str, object]] = []
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        # Cold runs at each worker count: each gets a pristine cache dir so
+        # no run warms another.
+        for jobs in job_counts:
+            cold_dir = f"{cache_root}/cold-{jobs}"
+            result = _audit(benchmarks, jobs, cold_dir)
+            result["phase"] = "cold"
+            runs.append(result)
+        # Warm rerun: reuse the cache of the first (baseline) cold run.
+        baseline_jobs = job_counts[0]
+        warm = _audit(benchmarks, baseline_jobs, f"{cache_root}/cold-{baseline_jobs}")
+        warm["phase"] = "warm"
+        runs.append(warm)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    # Parallelism and caching must never change the audit's meaning.
+    baseline = runs[0].pop("normalized")
+    for run in runs[1:]:
+        if run.pop("normalized") != baseline:
+            raise AssertionError(
+                f"normalized batch report of phase={run['phase']} jobs={run['jobs']} "
+                "differs from the serial baseline"
+            )
+
+    baseline_elapsed = runs[0]["elapsed_s"]
+    for run in runs:
+        run["speedup_vs_baseline"] = (
+            baseline_elapsed / run["elapsed_s"] if run["elapsed_s"] > 0 else None
+        )
+    warm_run = runs[-1]
+    if warm_run["cache_hits"] == 0:
+        raise AssertionError("warm rerun reported zero cache hits")
+    return {
+        "benchmark": "parallel_scaling",
+        "benchmarks_audited": benchmarks,
+        "job_counts": list(job_counts),
+        "baseline_jobs": job_counts[0],
+        "runs": runs,
+        "warm_speedup_vs_baseline": warm_run["speedup_vs_baseline"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=[],
+        help="restrict to one benchmark family (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_parallel.json", metavar="FILE",
+        help="where to write the JSON document (default: BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--jobs",
+        action="append",
+        type=int,
+        default=[],
+        help="worker counts to measure (repeatable; default: 1 2 4)",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = _select_benchmarks(args.family)
+    job_counts = tuple(args.jobs) or DEFAULT_JOB_COUNTS
+    document = run_benchmark(benchmarks, job_counts)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for run in document["runs"]:
+        print(
+            f"{run['phase']:>4s} jobs={run['jobs']}: {run['elapsed_s']:.2f} s "
+            f"(x{run['speedup_vs_baseline']:.2f} vs baseline), "
+            f"cache {run['cache_hits']} hit(s) / {run['cache_misses']} miss(es)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

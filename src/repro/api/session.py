@@ -26,9 +26,16 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 from repro.api.design import Design
 from repro.core.config import DetectionConfig, Waiver
 from repro.core.events import EventBus, RunEvent, RunFinished
-from repro.core.flow import TrojanDetectionFlow
-from repro.core.report import SCHEMA_VERSION, DetectionReport
+from repro.core.flow import TrojanDetectionFlow, open_result_cache
+from repro.core.report import (
+    SCHEMA_VERSION,
+    DetectionReport,
+    check_schema_version,
+    execution_summary_line,
+)
 from repro.errors import ReproError
+from repro.exec.executor import create_executor
+from repro.exec.scheduler import DesignPlan, run_plans
 from repro.rtl.ir import Module
 
 
@@ -140,10 +147,18 @@ class DetectionSession:
 
 @dataclass
 class BatchReport:
-    """Aggregated result of a :class:`BatchSession` run."""
+    """Aggregated result of a :class:`BatchSession` run.
+
+    ``reports`` are always kept in the order the designs were queued, even
+    when the execution subsystem settled them out of order on a worker
+    pool; every aggregate below is a *sum of per-design snapshots*, so the
+    totals are independent of completion order.
+    """
 
     reports: List[DetectionReport] = field(default_factory=list)
     total_runtime_seconds: float = 0.0
+    #: Worker-process count the batch executed on (1 = classic serial).
+    workers: int = 1
 
     @property
     def designs_audited(self) -> int:
@@ -164,13 +179,25 @@ class BatchReport:
         return counts
 
     def solver_stats(self) -> Dict[str, int]:
-        """Cumulative solver-reuse statistics across every design's context."""
+        """Cumulative solver-reuse statistics across every design's context.
+
+        Sums the per-design snapshots (each already aggregated over that
+        design's workers by the scheduler); the result is therefore the
+        same no matter how runs interleaved on the pool.
+        """
         totals = {"solver_calls": 0, "conflicts": 0, "clauses_encoded": 0,
                   "clauses_new": 0, "clauses_reused": 0}
         for report in self.reports:
             for key, value in report.solver_stats().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cumulative result-cache hits/misses across every design."""
+        return {
+            "cache_hits": sum(report.cache_hits for report in self.reports),
+            "cache_misses": sum(report.cache_misses for report in self.reports),
+        }
 
     def report_for(self, design: str) -> DetectionReport:
         for report in self.reports:
@@ -186,6 +213,7 @@ class BatchReport:
         return {
             "schema_version": SCHEMA_VERSION,
             "total_runtime_seconds": self.total_runtime_seconds,
+            "execution": {"workers": self.workers, **self.cache_stats()},
             "reports": [report.to_dict() for report in self.reports],
         }
 
@@ -198,15 +226,11 @@ class BatchReport:
             raise ReproError(
                 f"serialized batch report must be a dict, got {type(data).__name__}"
             )
-        version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
-            raise ReproError(
-                f"unsupported batch report schema_version {version!r} "
-                f"(this library reads version {SCHEMA_VERSION})"
-            )
+        check_schema_version(data, what="batch report")
         return cls(
             reports=[DetectionReport.from_dict(entry) for entry in data.get("reports", [])],
             total_runtime_seconds=data.get("total_runtime_seconds", 0.0),
+            workers=data.get("execution", {}).get("workers", 1),
         )
 
     @classmethod
@@ -244,6 +268,12 @@ class BatchReport:
                 f" {stats['clauses_new']} new / {stats['clauses_reused']} reused clauses,"
                 f" {stats['conflicts']} conflicts"
             )
+        cache = self.cache_stats()
+        execution_line = execution_summary_line(
+            self.workers, cache["cache_hits"], cache["cache_misses"]
+        )
+        if execution_line is not None:
+            lines.append(execution_line)
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -326,19 +356,66 @@ class BatchSession:
 
         Lazy like :meth:`DetectionSession.iter_results`: design ``n+1`` is
         not elaborated into a flow before design ``n``'s report has been
-        consumed, so a caller can stop a long batch early.
+        consumed, so a caller can stop a long batch early.  Always serial
+        within the calling process; :meth:`run` is the surface that shards
+        designs over a worker pool when the config asks for ``jobs > 1``.
         """
         for design in self._designs:
             session = DetectionSession(design, config=self.config_for(design))
             session.subscribe(self._bus.emit)
             yield design, session.run()
 
+    def _run_sharded(self, pairs, jobs: int) -> Tuple[List[DetectionReport], int]:
+        """Audit all queued designs over one shared worker pool.
+
+        Every design's property shards go into a single work-stealing queue,
+        so workers move freely between designs: a design with one huge SAT
+        obligation no longer serializes the whole batch.  Events merge back
+        deterministically in (queue order, class order); reports come back
+        in queue order regardless of which design finished first.
+        """
+        plans = []
+        for position, (design, config) in enumerate(pairs):
+            analysis = (
+                design.analysis(config.inputs) if config.inputs is not None else None
+            )
+            plans.append(
+                DesignPlan.build(
+                    key=f"{position}:{design.name}",
+                    name=design.name,
+                    module=design.module,
+                    config=config,
+                    analysis=analysis,
+                    cache=open_result_cache(config),
+                )
+            )
+        executor = create_executor(jobs, {plan.key: plan.work_unit for plan in plans})
+        reports: List[DetectionReport] = []
+        try:
+            for event in run_plans(plans, executor):
+                self._bus.emit(event)
+                if isinstance(event, RunFinished):
+                    reports.append(event.report)
+        finally:
+            executor.close()
+        # Report the parallelism the runs actually saw, not the requested
+        # jobs: the factory falls back to a serial executor on fork-less
+        # platforms and a pool never forks more workers than it has shards,
+        # so the batch must agree with its per-design reports.
+        return reports, max((report.workers for report in reports), default=1)
+
     def run(self) -> BatchReport:
         """Audit every queued design and return the aggregated batch report."""
         started = _time.perf_counter()
+        pairs = [(design, self.config_for(design)) for design in self._designs]
+        jobs = max((config.jobs for _, config in pairs), default=1)
         batch = BatchReport()
-        for _, report in self.iter_reports():
-            batch.reports.append(report)
+        if jobs > 1:
+            reports, batch.workers = self._run_sharded(pairs, jobs)
+            batch.reports.extend(reports)
+        else:
+            for _, report in self.iter_reports():
+                batch.reports.append(report)
         batch.total_runtime_seconds = _time.perf_counter() - started
         self._report = batch
         return batch

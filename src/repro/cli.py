@@ -1,18 +1,22 @@
 """Command-line interface: ``repro-ht-detect``.
 
-A thin consumer of the session API (:mod:`repro.api`) with four subcommands::
+A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
 
     repro-ht-detect run --benchmark AES-T1400 --json
     repro-ht-detect run --verilog design.v --top my_accel --inputs din,key
-    repro-ht-detect batch --family RS232
+    repro-ht-detect batch --family RS232 --jobs 4 --cache-dir ~/.repro-cache
     repro-ht-detect list-benchmarks
     repro-ht-detect report audit.json
+    repro-ht-detect cache stats --cache-dir ~/.repro-cache
 
 ``run`` audits one design (``--json`` emits the schema-versioned report,
 ``--verbose`` streams per-property events as they settle), ``batch`` audits
-many designs in one process with cumulative solver statistics,
-``list-benchmarks`` prints the bundled Trust-Hub-style catalogue, and
-``report`` re-renders a previously saved JSON report.
+many designs — sharded over ``--jobs`` worker processes — with cumulative
+solver statistics, ``list-benchmarks`` prints the bundled Trust-Hub-style
+catalogue, ``report`` re-renders a previously saved JSON report, and
+``cache`` inspects (``stats``) or empties (``clear``) the persistent on-disk
+result cache that ``--cache-dir`` enables on ``run``/``batch``
+(``--no-cache`` bypasses both reads and writes).
 
 The pre-subcommand invocation style (``repro-ht-detect --verilog ...``) is
 still accepted and mapped onto ``run`` / ``list-benchmarks`` with a
@@ -49,7 +53,7 @@ from repro.api import (
 from repro.errors import ReproError
 from repro.sat import available_backends, default_backend_name
 
-_SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report")
+_SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report", "cache")
 
 
 # ---------------------------------------------------------------------- #
@@ -96,6 +100,24 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         choices=["auto"] + available_backends(),
         help=f"SAT backend for the persistent solver context "
              f"(default: auto = {default_backend_name()})",
+    )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="settle property classes on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent result cache: replay already-proven classes from DIR "
+             "and store newly settled ones",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache (even with --cache-dir)",
     )
 
 
@@ -166,6 +188,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="re-emit the normalized JSON instead of the summary"
     )
 
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent on-disk result cache"
+    )
+    cache_subparsers = cache_parser.add_subparsers(
+        dest="cache_command", required=True, metavar="ACTION"
+    )
+    for action, help_text in (
+        ("stats", "print entry count and total size of the cache"),
+        ("clear", "delete every cached entry"),
+    ):
+        action_parser = cache_subparsers.add_parser(action, help=help_text)
+        action_parser.add_argument(
+            "--cache-dir", required=True, metavar="DIR", help="cache directory"
+        )
+
     return parser
 
 
@@ -191,6 +228,19 @@ def _normalise_argv(argv: List[str]) -> List[str]:
 # ---------------------------------------------------------------------- #
 
 
+def _shared_config_kwargs(args: argparse.Namespace) -> dict:
+    """Config fields that map 1:1 from CLI flags, shared by run and batch."""
+    return dict(
+        cumulative_assumptions=not args.strict_paper_properties,
+        stop_at_first_failure=not args.check_all,
+        max_class=args.max_class,
+        solver_backend=args.solver_backend,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+
 def _config_from_args(args: argparse.Namespace, design: Design) -> DetectionConfig:
     if args.inputs:
         inputs: Optional[List[str]] = parse_input_list(args.inputs)
@@ -202,14 +252,23 @@ def _config_from_args(args: argparse.Namespace, design: Design) -> DetectionConf
             Waiver(signal=name, reason=f"recommended for {design.name}")
             for name in design.recommended_waivers
         )
-    return DetectionConfig(
-        inputs=inputs,
-        waivers=waivers,
-        cumulative_assumptions=not args.strict_paper_properties,
-        stop_at_first_failure=not args.check_all,
-        max_class=args.max_class,
-        solver_backend=args.solver_backend,
+    return DetectionConfig(inputs=inputs, waivers=waivers, **_shared_config_kwargs(args))
+
+
+def _batch_template_from_args(args: argparse.Namespace) -> Optional[DetectionConfig]:
+    """The batch's shared config template, or None when every flag is at its
+    default (letting each design's own recommended defaults apply).
+
+    Built unconditionally and compared against a default config, so a new
+    flag wired into :func:`_shared_config_kwargs` can never be silently
+    dropped by a hand-maintained any-flag-set condition.
+    """
+    template = DetectionConfig(
+        inputs=parse_input_list(args.inputs) if args.inputs else None,
+        waivers=[Waiver(signal=name, reason="command line") for name in args.waive],
+        **_shared_config_kwargs(args),
     )
+    return None if template == DetectionConfig() else template
 
 
 def _print_event(event: RunEvent, file=None) -> None:
@@ -297,19 +356,8 @@ def _select_benchmarks(args: argparse.Namespace, parser: argparse.ArgumentParser
 
 
 def _cmd_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    template: Optional[DetectionConfig] = None
-    if (args.inputs or args.waive or args.strict_paper_properties or args.check_all
-            or args.max_class is not None or args.solver_backend != "auto"):
-        template = DetectionConfig(
-            inputs=parse_input_list(args.inputs) if args.inputs else None,
-            waivers=[Waiver(signal=name, reason="command line") for name in args.waive],
-            cumulative_assumptions=not args.strict_paper_properties,
-            stop_at_first_failure=not args.check_all,
-            max_class=args.max_class,
-            solver_backend=args.solver_backend,
-        )
     batch = BatchSession(
-        config=template,
+        config=_batch_template_from_args(args),
         use_recommended_waivers=not args.no_recommended_waivers,
     )
     if args.verbose:
@@ -334,6 +382,20 @@ def _cmd_list_benchmarks(args: argparse.Namespace, parser: argparse.ArgumentPars
         trojan = "trojan" if design.has_trojan else "HT-free"
         print(f"{name:18s} {design.family:9s} {trojan:8s} "
               f"payload={design.payload:9s} trigger={design.trigger}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"cache {stats['root']}: {stats['entries']} entries, "
+              f"{stats['bytes']} bytes (schema v{stats['cache_schema']})")
+        return 0
+    removed = cache.clear()
+    print(f"cache {cache.root}: removed {removed} entries")
     return 0
 
 
@@ -366,6 +428,7 @@ _HANDLERS = {
     "batch": _cmd_batch,
     "list-benchmarks": _cmd_list_benchmarks,
     "report": _cmd_report,
+    "cache": _cmd_cache,
 }
 
 

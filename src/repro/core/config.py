@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from repro.errors import ConfigError
@@ -84,6 +84,21 @@ class DetectionConfig:
         :mod:`repro.sat.backend`).  ``"auto"`` (default) picks the fastest
         installed backend; ``"python"`` forces the bundled CDCL solver;
         ``"pysat"`` requires the python-sat package.
+    jobs:
+        Parallelism of the execution subsystem (:mod:`repro.exec`).  1
+        (default) settles classes inline on the calling process; N > 1
+        shards property classes — and, in a batch, designs — over N forked
+        worker processes with per-worker solver-context affinity.
+    cache_dir:
+        Directory of the persistent on-disk result cache.  When set, settled
+        property classes are stored content-addressed by a fingerprint of
+        the elaborated netlist, the semantic configuration and the class
+        index; later audits replay unchanged classes without any solver
+        work.  ``None`` (default) disables caching entirely.
+    use_cache:
+        When false, ``cache_dir`` is neither read nor written (the CLI's
+        ``--no-cache``); useful for forcing a clean re-proof into an
+        otherwise warm cache directory.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -93,6 +108,9 @@ class DetectionConfig:
     stop_at_first_failure: bool = True
     max_class: Optional[int] = None
     solver_backend: str = "auto"
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -105,6 +123,10 @@ class DetectionConfig:
             )
         if self.max_class is not None and self.max_class < 0:
             raise ConfigError(f"max_class must be >= 0, got {self.max_class}")
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ConfigError(f"jobs must be an integer >= 1, got {self.jobs!r}")
+        if self.cache_dir is not None and not str(self.cache_dir).strip():
+            raise ConfigError("cache_dir must be a non-empty path (or None)")
         if self.inputs is not None:
             validate_input_names(self.inputs)
 
@@ -114,12 +136,4 @@ class DetectionConfig:
     def with_waivers(self, *signals: str, reason: str = "") -> "DetectionConfig":
         """A copy of this configuration with additional waived signals."""
         new_waivers = list(self.waivers) + [Waiver(signal=name, reason=reason) for name in signals]
-        return DetectionConfig(
-            inputs=self.inputs,
-            cumulative_assumptions=self.cumulative_assumptions,
-            assume_inputs_at_prove_time=self.assume_inputs_at_prove_time,
-            waivers=new_waivers,
-            stop_at_first_failure=self.stop_at_first_failure,
-            max_class=self.max_class,
-            solver_backend=self.solver_backend,
-        )
+        return replace(self, waivers=new_waivers)

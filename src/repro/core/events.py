@@ -55,10 +55,15 @@ class RunEvent:
 
 @dataclass(frozen=True)
 class RunStarted(RunEvent):
-    """The scheduler is about to settle ``scheduled_classes`` property classes."""
+    """The scheduler is about to settle ``scheduled_classes`` property classes.
+
+    ``workers`` is the parallelism of the run's executor (1 for the classic
+    in-process serial flow).
+    """
 
     scheduled_classes: int
     solver_backend: str
+    workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -83,16 +88,27 @@ class PropertyScheduled(ClassEvent):
 
 @dataclass(frozen=True)
 class StructurallyDischarged(ClassEvent):
-    """The class was settled on the shared AIG without any SAT search."""
+    """The class was settled on the shared AIG without any SAT search.
+
+    ``from_cache`` marks a replay from the persistent result cache: the
+    class was not re-proven, its recorded result was reused.
+    """
 
     outcome: "PropertyOutcome"
+    from_cache: bool = False
 
 
 @dataclass(frozen=True)
 class ClassProven(ClassEvent):
-    """The class's remaining SAT obligations were proven unsatisfiable."""
+    """The class's remaining SAT obligations were proven unsatisfiable.
+
+    ``solve_s`` is the wall-clock time this class's proof took (structural
+    preparation plus SAT search; 0.0 is possible for cache replays).
+    """
 
     outcome: "PropertyOutcome"
+    solve_s: float = 0.0
+    from_cache: bool = False
 
 
 @dataclass(frozen=True)
@@ -108,6 +124,9 @@ class CexFound(ClassEvent):
     cex: "CounterExample"
     diagnosis: "CexDiagnosis"
     auto_resolvable: bool
+    #: Wall-clock seconds of the check that produced this counterexample.
+    solve_s: float = 0.0
+    from_cache: bool = False
 
 
 @dataclass(frozen=True)
@@ -124,9 +143,15 @@ class CexWaived(ClassEvent):
 
 @dataclass(frozen=True)
 class RunFinished(RunEvent):
-    """The run is complete; ``report`` is the final detection report."""
+    """The run is complete; ``report`` is the final detection report.
+
+    ``elapsed_s`` is the run's wall-clock duration (it equals the report's
+    ``total_runtime_seconds``; carried on the event so telemetry consumers
+    need not reach into the report).
+    """
 
     report: "DetectionReport"
+    elapsed_s: float = 0.0
 
 
 Subscriber = Callable[[RunEvent], None]

@@ -1,55 +1,51 @@
-"""Algorithm 1 as an event-emitting batched property scheduler.
+"""Algorithm 1 as a plan handed to the parallel execution subsystem.
 
-The flow builds one property per fanout class (plus the init property) and
-settles them in two phases over the engine's shared, structurally hashed AIG:
+The flow builds one property per fanout class (plus the init property).  As
+of the exec-subsystem refactor it no longer loops over them itself: it
+builds a :class:`repro.exec.scheduler.DesignPlan` — which consults the
+persistent :class:`repro.exec.cache.ResultCache` and shards the remaining
+classes into chunk tasks — and hands the shards to an
+:class:`repro.exec.executor.Executor`:
 
-1. *Structural phase* — every scheduled property is bit-blasted and
-   discharged on the AIG where possible.  No SAT solver is involved; in an
-   untampered design this phase settles every class.
-2. *SAT phase* — the remaining obligations run, in class order, against the
-   engine's persistent incremental solver context, so the CNF encoding and
-   everything the solver learned for one class is reused by the next.
+* ``DetectionConfig.jobs == 1`` (default): a :class:`SerialExecutor` settles
+  each class inline as the event consumer iterates, using this flow's own
+  persistent :class:`IpcEngine` — the classic lazy streaming behaviour with
+  full clause reuse across classes.
+* ``jobs > 1``: a :class:`ProcessPoolExecutor` forks workers that steal
+  shards from one shared queue; each worker keeps one engine per design, so
+  clause reuse survives inside a worker.
 
-Every failing property yields a counterexample together with a diagnosis
-(Sec. V-B); causes that are provable by another property of the same run are
-resolved automatically by re-verification with strengthened assumptions,
-everything else is reported to the user.
-
-The scheduler does not accumulate results privately: :meth:`TrojanDetectionFlow.events`
-is a generator that emits the typed events of :mod:`repro.core.events`
-(``PropertyScheduled``, ``StructurallyDischarged``, ``CexFound``, ``CexWaived``,
-``ClassProven``, ``RunFinished``) as each class settles, which is what the
-streaming :meth:`repro.api.DetectionSession.iter_results` surface consumes.
-:meth:`TrojanDetectionFlow.run` simply drains that generator and returns the
-final report.
+Either way the consumer sees the same deterministic, typed event stream of
+:mod:`repro.core.events` (``PropertyScheduled``, ``StructurallyDischarged``,
+``CexFound``, ``CexWaived``, ``ClassProven``, ``RunFinished``) merged back in
+class order, and :meth:`TrojanDetectionFlow.run` simply drains that stream
+and returns the final report.  Per-class settling (structural discharge,
+SAT search, spurious-counterexample resolution of Sec. V-B) lives in
+:class:`repro.exec.worker.DesignWorkContext`.
 """
 
 from __future__ import annotations
 
-import time as _time
 import warnings
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, Optional
 
 from repro.core.config import DetectionConfig
-from repro.core.coverage import check_signal_coverage
-from repro.core.events import (
-    CexFound,
-    CexWaived,
-    ClassProven,
-    PropertyScheduled,
-    RunEvent,
-    RunFinished,
-    RunStarted,
-    StructurallyDischarged,
-)
-from repro.core.falsealarm import CexDiagnosis, diagnose_counterexample
-from repro.core.properties import build_fanout_property, build_init_property
-from repro.core.report import DetectionReport, PropertyOutcome, Verdict
-from repro.ipc.engine import IpcEngine, PreparedCheck, PropertyCheckResult
-from repro.ipc.prop import IntervalProperty
+from repro.core.events import RunEvent, RunFinished
+from repro.core.report import DetectionReport
+from repro.exec.cache import ResultCache
+from repro.exec.executor import ContextSeed, create_executor
+from repro.exec.scheduler import DesignPlan, run_plans
+from repro.ipc.engine import IpcEngine
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
 from repro.rtl.netlist import DependencyGraph
+
+
+def open_result_cache(config: DetectionConfig) -> Optional[ResultCache]:
+    """The config's result cache, or None when disabled (no dir / --no-cache)."""
+    if config.cache_dir is None or not config.use_cache:
+        return None
+    return ResultCache(config.cache_dir)
 
 
 class TrojanDetectionFlow:
@@ -74,7 +70,9 @@ class TrojanDetectionFlow:
         self._analysis = analysis if analysis is not None else compute_fanout_classes(
             module, inputs=self._config.inputs, graph=self._graph
         )
-        self._engine = IpcEngine(module, solver_backend=self._config.solver_backend)
+        # The engine is created on first use: a fully cache-warm run (and a
+        # jobs > 1 run, where workers own their engines) never builds one.
+        self._lazy_engine: Optional[IpcEngine] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -94,7 +92,17 @@ class TrojanDetectionFlow:
 
     @property
     def engine(self) -> IpcEngine:
-        return self._engine
+        """The flow's persistent property-checking engine (created lazily).
+
+        Serial runs settle their classes on exactly this engine, so direct
+        ``flow.engine.check(...)`` experiments after a run reuse everything
+        the run encoded and learned.
+        """
+        if self._lazy_engine is None:
+            self._lazy_engine = IpcEngine(
+                self._module, solver_backend=self._config.solver_backend
+            )
+        return self._lazy_engine
 
     # ------------------------------------------------------------------ #
     # Algorithm 1
@@ -112,195 +120,39 @@ class TrojanDetectionFlow:
     def events(self) -> Iterator[RunEvent]:
         """Execute the flow lazily, emitting one typed event per step.
 
-        The generator *is* the run: properties settle as the consumer
-        iterates, so a caller can render progress, collect telemetry, or
-        abandon the iteration for an early abort while the SAT phase is
-        still running.  The final event is always :class:`RunFinished`
-        carrying the complete report.
+        The generator *is* the run: with the default serial executor,
+        properties settle as the consumer iterates, so a caller can render
+        progress, collect telemetry, or abandon the iteration for an early
+        abort while the SAT phase is still running.  With ``config.jobs > 1``
+        the shards execute on worker processes while the consumer drains the
+        merged, deterministic event stream.  The final event is always
+        :class:`RunFinished` carrying the complete report.
         """
-        design = self._design_name
-        started = _time.perf_counter()
-        report = DetectionReport(
-            design=design,
-            verdict=Verdict.SECURE,
-            fanout_analysis=self._analysis,
+        cache = open_result_cache(self._config)
+        plan = DesignPlan.build(
+            key=self._design_name,
+            name=self._design_name,
+            module=self._module,
+            config=self._config,
+            analysis=self._analysis,
+            graph=self._graph,
+            cache=cache,
         )
-
-        depth = self._analysis.placement_depth
-        if self._config.max_class is not None:
-            depth = min(depth, self._config.max_class)
-
-        yield RunStarted(
-            design=design,
-            scheduled_classes=depth,
-            solver_backend=self._engine.solver_context.backend_name,
-        )
-
-        # Phase 1 — structural pass over every scheduled class on the shared
-        # AIG.  Discharged classes are settled here without any SAT work;
-        # classes with remaining obligations queue up for the SAT phase.
-        outcomes: Dict[int, PropertyOutcome] = {}
-        sat_queue: List[Tuple[int, PreparedCheck]] = []
-        for k in range(0, depth):
-            kind = "init" if k == 0 else "fanout"
-            prop = self._build_property(k)
-            yield PropertyScheduled(
-                design=design,
-                index=k,
-                kind=kind,
-                property_name=prop.name,
-                commitments=len(prop.commitments),
-            )
-            if not prop.commitments:
-                # Nothing to prove for this class; trivially holds.
-                outcomes[k] = PropertyOutcome(
-                    kind=kind,
-                    index=k,
-                    result=PropertyCheckResult(prop=prop, holds=True, structurally_proven=True),
+        executor = create_executor(
+            self._config.jobs,
+            {plan.key: plan.work_unit},
+            seeds={
+                plan.key: ContextSeed(
+                    engine_factory=lambda: self.engine,
+                    analysis=self._analysis,
+                    graph=self._graph,
                 )
-                yield StructurallyDischarged(design=design, index=k, outcome=outcomes[k])
-                continue
-            prepared = self._engine.begin_check(prop)
-            if prepared.discharged:
-                outcomes[k] = PropertyOutcome(
-                    kind=kind, index=k, result=self._engine.finish_check(prepared)
-                )
-                yield StructurallyDischarged(design=design, index=k, outcome=outcomes[k])
-            else:
-                sat_queue.append((k, prepared))
-
-        # Phase 2 — remaining SAT obligations, in class order, against the
-        # shared incremental solver context (with per-class spurious-CEX
-        # resolution exactly as in the one-at-a-time flow).
-        stopped_early = False
-        failed_class: Optional[int] = None
-        for k, prepared in sat_queue:
-            outcome = yield from self._settle_with_sat(k, prepared)
-            outcomes[k] = outcome
-            if outcome.holds:
-                yield ClassProven(design=design, index=k, outcome=outcome)
-            else:
-                report.verdict = Verdict.TROJAN_SUSPECTED
-                report.detected_by = outcome.label
-                report.counterexample = outcome.result.cex
-                report.diagnosis = outcome.diagnosis
-                if self._config.stop_at_first_failure:
-                    stopped_early = True
-                    failed_class = k
-                    break
-
-        # On an early stop, report the contiguous prefix up to the failing
-        # class (structural results beyond it were computed but never part of
-        # the verdict; SAT obligations beyond it were never attempted).
-        report.outcomes = [
-            outcomes[k]
-            for k in sorted(outcomes)
-            if failed_class is None or k <= failed_class
-        ]
-        report.spurious_resolved = sum(
-            outcome.resolved_spurious for outcome in report.outcomes
+            },
         )
-        self._record_solver_stats(report)
-        if stopped_early:
-            report.total_runtime_seconds = _time.perf_counter() - started
-            yield RunFinished(design=design, report=report)
-            return
-
-        # Coverage check (Algorithm 1, line 17): only meaningful when no
-        # property already failed.
-        coverage = check_signal_coverage(self._module, self._analysis, self._graph)
-        report.coverage = coverage
-        if report.verdict is Verdict.SECURE and not coverage.complete:
-            report.verdict = Verdict.UNCOVERED_SIGNALS
-            report.detected_by = "coverage check"
-
-        report.total_runtime_seconds = _time.perf_counter() - started
-        yield RunFinished(design=design, report=report)
-
-    def _record_solver_stats(self, report: DetectionReport) -> None:
-        stats = self._engine.stats()
-        report.solver_backend = stats["backend"]
-        report.solver_calls = stats["solver_calls"]
-        report.solver_conflicts = stats["conflicts"]
-        report.cnf_clauses = stats["cnf_clauses"]
-        report.cnf_clauses_reused = sum(
-            outcome.result.cnf_reused_clauses for outcome in report.outcomes
-        )
-
-    # ------------------------------------------------------------------ #
-    # Per-class property checking with spurious-CEX resolution
-    # ------------------------------------------------------------------ #
-
-    def _build_property(self, k: int) -> IntervalProperty:
-        if k == 0:
-            return build_init_property(self._module, self._analysis, self._config)
-        return build_fanout_property(self._module, self._analysis, k, self._config)
-
-    def _settle_with_sat(self, k: int, prepared: PreparedCheck) -> Iterator[RunEvent]:
-        """Settle the SAT obligations of class ``k`` (0 = init property).
-
-        A generator: emits a :class:`CexFound` event for every counterexample
-        the solver produces and a :class:`CexWaived` event whenever one is
-        resolved by re-verification with strengthened assumptions; its return
-        value (via ``yield from``) is the class's final outcome.
-
-        If the property fails, the counterexample is diagnosed; when every
-        cause is provable by another property of the run (Sec. V-B scenario 1)
-        the property is re-verified with those equalities added.  Causes that
-        would need engineering judgement are never assumed automatically.
-        Re-verification runs full checks against the same shared solver
-        context, so the strengthened property reuses all encoded clauses.
-        """
-        design = self._design_name
-        kind = "init" if k == 0 else "fanout"
-        prop = prepared.prop
-        resolved = 0
-        extra_assumptions: List[str] = []
-        diagnosis: Optional[CexDiagnosis] = None
-        result = self._engine.finish_check(prepared)
-
-        while True:
-            if result.holds:
-                return PropertyOutcome(kind=kind, index=k, result=result, resolved_spurious=resolved)
-            diagnosis = diagnose_counterexample(
-                self._module, self._analysis, prop, result.cex, self._graph, self._config
-            )
-            if diagnosis.auto_resolvable:
-                new_assumptions = [
-                    signal
-                    for signal in diagnosis.proposed_assumptions()
-                    if signal not in extra_assumptions
-                ]
-                if new_assumptions:
-                    yield CexFound(
-                        design=design,
-                        index=k,
-                        cex=result.cex,
-                        diagnosis=diagnosis,
-                        auto_resolvable=True,
-                    )
-                    yield CexWaived(design=design, index=k, signals=tuple(new_assumptions))
-                    extra_assumptions.extend(new_assumptions)
-                    resolved += 1
-                    prop = self._build_property(k)
-                    for signal in extra_assumptions:
-                        prop.assume_equal(signal, 0)
-                    result = self._engine.check(prop)
-                    continue
-            yield CexFound(
-                design=design,
-                index=k,
-                cex=result.cex,
-                diagnosis=diagnosis,
-                auto_resolvable=False,
-            )
-            return PropertyOutcome(
-                kind=kind,
-                index=k,
-                result=result,
-                diagnosis=diagnosis,
-                resolved_spurious=resolved,
-            )
+        try:
+            yield from run_plans([plan], executor)
+        finally:
+            executor.close()
 
 
 def detect_trojans(module: Module, config: Optional[DetectionConfig] = None) -> DetectionReport:

@@ -24,7 +24,36 @@ from repro.rtl.fanout import FanoutAnalysis
 
 #: Version of the serialized report schema.  Bump on any incompatible change
 #: to the dict layout; ``from_dict`` refuses versions it does not know.
-SCHEMA_VERSION = 1
+#: v2: added the per-run ``execution`` block (workers, cache_hits,
+#: cache_misses) emitted by the parallel execution subsystem.
+SCHEMA_VERSION = 2
+
+#: Versions ``from_dict`` can still read.  v1 is accepted because v2 is
+#: purely additive (the execution block defaults when absent).
+READABLE_SCHEMA_VERSIONS = (1, 2)
+
+
+def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
+    """Raise :class:`ReproError` unless ``data`` has a readable version."""
+    version = data.get("schema_version")
+    if version not in READABLE_SCHEMA_VERSIONS:
+        readable = ", ".join(str(v) for v in READABLE_SCHEMA_VERSIONS)
+        raise ReproError(
+            f"unsupported {what} schema_version {version!r} "
+            f"(this library reads versions {readable})"
+        )
+
+
+def execution_summary_line(workers: int, cache_hits: int, cache_misses: int) -> Optional[str]:
+    """The shared ``execution: ...`` summary line, or None when unremarkable."""
+    if workers <= 1 and not cache_hits and not cache_misses:
+        return None
+    cache_note = (
+        f", result cache: {cache_hits} hit(s) / {cache_misses} miss(es)"
+        if (cache_hits or cache_misses)
+        else ""
+    )
+    return f"  execution: {workers} worker(s){cache_note}"
 
 
 class Verdict(Enum):
@@ -79,6 +108,11 @@ class DetectionReport:
     solver_conflicts: int = 0
     cnf_clauses: int = 0
     cnf_clauses_reused: int = 0
+    # Execution-subsystem statistics: worker-process count of the run and
+    # how many classes replayed from / were written to the result cache.
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     # ------------------------------------------------------------------ #
     # Convenience queries
@@ -140,6 +174,11 @@ class DetectionReport:
                 "cnf_clauses": self.cnf_clauses,
                 "cnf_clauses_reused": self.cnf_clauses_reused,
             },
+            "execution": {
+                "workers": self.workers,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
             "outcomes": [_outcome_to_dict(outcome) for outcome in self.outcomes],
             "counterexample": _cex_to_dict(self.counterexample),
             "diagnosis": _diagnosis_to_dict(self.diagnosis),
@@ -160,15 +199,11 @@ class DetectionReport:
         """
         if not isinstance(data, dict):
             raise ReproError(f"serialized report must be a dict, got {type(data).__name__}")
-        version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
-            raise ReproError(
-                f"unsupported report schema_version {version!r} "
-                f"(this library reads version {SCHEMA_VERSION})"
-            )
+        check_schema_version(data)
         try:
             verdict = Verdict(data["verdict"])
             solver = data.get("solver", {})
+            execution = data.get("execution", {})
             report = cls(
                 design=data["design"],
                 verdict=verdict,
@@ -185,6 +220,9 @@ class DetectionReport:
                 solver_conflicts=solver.get("conflicts", 0),
                 cnf_clauses=solver.get("cnf_clauses", 0),
                 cnf_clauses_reused=solver.get("cnf_clauses_reused", 0),
+                workers=execution.get("workers", 1),
+                cache_hits=execution.get("cache_hits", 0),
+                cache_misses=execution.get("cache_misses", 0),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(f"malformed serialized report: {error}") from error
@@ -214,6 +252,9 @@ class DetectionReport:
         )
         if self.spurious_resolved:
             lines.append(f"  spurious counterexamples resolved: {self.spurious_resolved}")
+        execution_line = execution_summary_line(self.workers, self.cache_hits, self.cache_misses)
+        if execution_line is not None:
+            lines.append(execution_line)
         if self.solver_calls:
             stats = self.solver_stats()
             lines.append(
@@ -401,3 +442,15 @@ def _fanout_from_dict(data: Optional[Dict[str, Any]]) -> Optional[FanoutAnalysis
         inputs=list(data.get("inputs", [])),
         placement=dict(data.get("placement", {})),
     )
+
+
+# Public serialization surface: the execution subsystem's class-record
+# round-trip (repro.exec.records) persists outcomes/counterexamples/
+# diagnoses with exactly the report's JSON-native encoding, so these
+# converters are part of the supported contract, not private helpers.
+outcome_to_dict = _outcome_to_dict
+outcome_from_dict = _outcome_from_dict
+cex_to_dict = _cex_to_dict
+cex_from_dict = _cex_from_dict
+diagnosis_to_dict = _diagnosis_to_dict
+diagnosis_from_dict = _diagnosis_from_dict

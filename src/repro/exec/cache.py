@@ -1,0 +1,142 @@
+"""On-disk, content-addressed cache of settled property classes.
+
+Layout on disk (one JSON document per settled class)::
+
+    <cache_dir>/
+      objects/
+        ab/
+          ab3f...e1.json      {"cache_schema": N, "key": "ab3f...e1",
+                               "record": {...}}   (see repro.exec.records)
+
+The key is the SHA-256 fingerprint of (netlist, config, property class,
+record schema) computed by :mod:`repro.exec.fingerprint`, so a cache
+directory can be shared between designs, configs, branches and machines
+without any coordination: a stale or foreign entry is simply never looked
+up.  Writes go through a temp file + ``os.replace`` so that concurrent
+workers or an interrupted run can never leave a torn entry behind; corrupt
+or unreadable entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+
+
+class ResultCache:
+    """A persistent store of settled property-class records."""
+
+    def __init__(self, root: str) -> None:
+        self._root = Path(root)
+        self._objects = self._root / "objects"
+        # Directories are created lazily on the first write: an unreadable
+        # or read-only cache location degrades to cache-off behaviour (and
+        # `cache stats` never creates the directory it is asked about).
+        #: Entries that existed but could not be used (corrupt JSON, wrong
+        #: schema, key mismatch).  Exposed for telemetry/tests; such entries
+        #: count as plain misses for the run itself.
+        self.corrupt_skipped = 0
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def _path_for(self, key: str) -> Path:
+        return self._objects / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record stored under ``key``, or None (miss / unusable entry)."""
+        path = self._path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.corrupt_skipped += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("cache_schema") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != key
+            or not isinstance(entry.get("record"), dict)
+        ):
+            self.corrupt_skipped += 1
+            return None
+        return entry["record"]
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store ``record`` under ``key`` (atomic; failures are non-fatal).
+
+        The cache is an accelerator, never a correctness dependency: a full
+        disk or read-only directory degrades to cache-off behaviour.
+        """
+        path = self._path_for(key)
+        entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(entry, handle, sort_keys=True)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def _entry_paths(self):
+        if not self._objects.is_dir():
+            return
+        for bucket in sorted(self._objects.iterdir()):
+            if not bucket.is_dir():
+                continue
+            for path in sorted(bucket.glob("*.json")):
+                yield path
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count and total size of the cache directory."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {
+            "root": str(self._root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number of entries removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed

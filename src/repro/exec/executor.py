@@ -1,0 +1,408 @@
+"""Executors: where chunk tasks run — inline, or on a worker-process pool.
+
+An :class:`Executor` consumes :class:`ChunkTask` shards (one design key plus
+a tuple of property-class indices) and yields one :class:`ChunkOutcome` per
+task **in submission order**, regardless of completion order.  That ordering
+contract is what lets the scheduler merge events and assemble reports
+deterministically while the underlying execution is free to be as
+out-of-order as the hardware allows.
+
+* :class:`SerialExecutor` runs each task inline when the consumer pulls it —
+  the lazy, streaming behaviour of the classic single-process flow.
+* :class:`ProcessPoolExecutor` runs tasks on ``--jobs`` forked worker
+  processes pulling from one shared queue.  The shared queue *is* the
+  work-stealing mechanism: an idle worker steals the next pending shard no
+  matter which design it belongs to.  Each worker keeps one
+  :class:`DesignWorkContext` per design, so the per-worker ``IpcEngine`` /
+  ``SatContext`` affinity preserves clause reuse inside a worker.  Results
+  travel back as JSON-native records (:mod:`repro.exec.records`).
+
+``cancel_design`` makes abandoning a design cheap after a failing class:
+tasks not yet handed out are dropped (serial: skipped inline; pool: never
+enqueued thanks to the bounded feeder).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as _queue
+import traceback
+import warnings
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Per-worker bound on live design contexts.  Each context holds a full
+#: IpcEngine (AIG + CNF + solver state), so an unbounded cache would grow
+#: with batch size; least-recently-used designs are evicted beyond this.
+MAX_CONTEXTS_PER_WORKER = 4
+
+from repro.errors import ReproError
+from repro.exec.records import ClassResult, class_result_from_record, class_result_to_record
+from repro.exec.worker import DesignWorkContext, WorkUnit
+from repro.ipc.engine import IpcEngine
+from repro.rtl.fanout import FanoutAnalysis
+from repro.rtl.netlist import DependencyGraph
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One schedulable shard: a run of property classes of one design."""
+
+    task_id: int
+    design_key: str
+    indices: Tuple[int, ...]
+    stop_on_failure: bool
+
+
+@dataclass
+class ChunkOutcome:
+    """The settled results of one chunk task plus solver-work accounting."""
+
+    task_id: int
+    design_key: str
+    results: List[ClassResult]
+    stats: Dict[str, object]
+    worker: str
+    skipped: bool = False
+
+
+@dataclass
+class ContextSeed:
+    """Pre-built collaborators for an in-process work context.
+
+    The serial executor accepts seeds so that a :class:`TrojanDetectionFlow`
+    can share its own engine/analysis/graph with the context that settles
+    its classes — keeping ``flow.engine`` meaningful and avoiding duplicate
+    structural analysis.  Pool workers never see seeds (engines do not cross
+    process boundaries); they build their own collaborators.
+    """
+
+    engine_factory: Optional[Callable[[], IpcEngine]] = None
+    analysis: Optional[FanoutAnalysis] = None
+    graph: Optional[DependencyGraph] = None
+
+
+class ContextPool:
+    """LRU-bounded per-design work contexts (one pool per worker).
+
+    Each context holds a full engine (AIG + CNF + solver state), so the
+    pool is what keeps worker memory bounded on large batches while still
+    giving recently used designs their clause-reuse affinity.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[str], DesignWorkContext],
+        capacity: int = MAX_CONTEXTS_PER_WORKER,
+    ) -> None:
+        self._factory = factory
+        self._capacity = capacity
+        self._contexts: "OrderedDict[str, DesignWorkContext]" = OrderedDict()
+
+    def get(self, design_key: str) -> DesignWorkContext:
+        context = self._contexts.get(design_key)
+        if context is None:
+            context = self._factory(design_key)
+            self._contexts[design_key] = context
+            while len(self._contexts) > self._capacity:
+                self._contexts.popitem(last=False)
+        else:
+            self._contexts.move_to_end(design_key)
+        return context
+
+    def clear(self) -> None:
+        self._contexts.clear()
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+
+class Executor(ABC):
+    """Runs chunk tasks; yields outcomes in submission order."""
+
+    @property
+    @abstractmethod
+    def workers(self) -> int:
+        """Configured parallelism (the sizing intent, e.g. for shard budgets)."""
+
+    def effective_workers(self, task_count: int) -> int:
+        """Workers that will actually run ``task_count`` tasks.
+
+        What reports should carry: a pool never forks more processes than
+        there are tasks, and a fully cache-warm run forks none at all.
+        """
+        return self.workers
+
+    @abstractmethod
+    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
+        """Execute ``tasks``, yielding one outcome per task in task order."""
+
+    @abstractmethod
+    def cancel_design(self, design_key: str) -> None:
+        """Best-effort: skip tasks of ``design_key`` not yet handed out."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release workers and per-design state; idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process executor: one task at a time, computed when pulled."""
+
+    def __init__(
+        self,
+        units: Dict[str, WorkUnit],
+        seeds: Optional[Dict[str, ContextSeed]] = None,
+    ) -> None:
+        self._units = units
+        self._seeds = seeds or {}
+        self._contexts = ContextPool(self._build_context)
+        self._cancelled: Set[str] = set()
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def _build_context(self, design_key: str) -> DesignWorkContext:
+        seed = self._seeds.get(design_key, ContextSeed())
+        engine = seed.engine_factory() if seed.engine_factory is not None else None
+        return DesignWorkContext(
+            self._units[design_key],
+            engine=engine,
+            analysis=seed.analysis,
+            graph=seed.graph,
+        )
+
+    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
+        for task in tasks:
+            if task.design_key in self._cancelled:
+                yield ChunkOutcome(
+                    task_id=task.task_id,
+                    design_key=task.design_key,
+                    results=[],
+                    stats={},
+                    worker="serial-0",
+                    skipped=True,
+                )
+                continue
+            context = self._contexts.get(task.design_key)
+            results, stats = context.run_chunk(task.indices, task.stop_on_failure)
+            yield ChunkOutcome(
+                task_id=task.task_id,
+                design_key=task.design_key,
+                results=results,
+                stats=stats,
+                worker="serial-0",
+            )
+
+    def cancel_design(self, design_key: str) -> None:
+        self._cancelled.add(design_key)
+
+    def close(self) -> None:
+        self._contexts.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Process pool
+# ---------------------------------------------------------------------- #
+
+
+def _pool_worker_main(worker_name, units, task_queue, result_queue) -> None:
+    """Worker loop: steal tasks, settle them with per-design engine affinity.
+
+    Runs in the child process.  Every exception is reported as a message,
+    never as a dead worker, so the parent can fail loudly with the original
+    traceback.
+    """
+    contexts = ContextPool(lambda design_key: DesignWorkContext(units[design_key]))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        try:
+            context = contexts.get(task.design_key)
+            results, stats = context.run_chunk(task.indices, task.stop_on_failure)
+            records = [class_result_to_record(result) for result in results]
+            result_queue.put((task.task_id, task.design_key, records, stats, worker_name, None))
+        except Exception:  # noqa: BLE001 - crossing a process boundary
+            result_queue.put(
+                (task.task_id, task.design_key, [], {}, worker_name, traceback.format_exc())
+            )
+
+
+class ProcessPoolExecutor(Executor):
+    """Multi-process executor over one shared work-stealing task queue.
+
+    Workers are forked lazily on the first :meth:`run` call (fork keeps the
+    unit table out of the pickle path and inherits the parent's imports).
+    The feeder keeps at most ``2 × workers`` tasks in flight, which bounds
+    queue memory and gives :meth:`cancel_design` a window to drop shards
+    that a failing class made pointless.
+    """
+
+    def __init__(self, units: Dict[str, WorkUnit], jobs: int) -> None:
+        if jobs < 2:
+            raise ReproError(f"ProcessPoolExecutor needs jobs >= 2, got {jobs}")
+        self._units = units
+        self._jobs = jobs
+        self._mp = multiprocessing.get_context("fork")
+        self._processes: List[multiprocessing.Process] = []
+        self._task_queue = None
+        self._result_queue = None
+        self._cancelled: Set[str] = set()
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._jobs
+
+    def effective_workers(self, task_count: int) -> int:
+        if task_count <= 0:
+            return 1  # nothing to fork for (e.g. a fully cache-warm run)
+        return min(self._jobs, task_count)
+
+    def _start(self, worker_count: int) -> None:
+        self._task_queue = self._mp.Queue()
+        self._result_queue = self._mp.Queue()
+        for worker_index in range(worker_count):
+            process = self._mp.Process(
+                target=_pool_worker_main,
+                args=(
+                    f"worker-{worker_index}",
+                    self._units,
+                    self._task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
+        if self._closed:
+            raise ReproError("executor is closed")
+        if not tasks:
+            return
+        worker_count = min(self._jobs, len(tasks))
+        if not self._processes:
+            self._start(worker_count)
+        pending = deque(tasks)
+        completed: Dict[int, ChunkOutcome] = {}
+        outstanding = 0
+        max_outstanding = 2 * len(self._processes)
+
+        def feed() -> None:
+            nonlocal outstanding
+            while pending and outstanding < max_outstanding:
+                task = pending.popleft()
+                if task.design_key in self._cancelled:
+                    completed[task.task_id] = ChunkOutcome(
+                        task_id=task.task_id,
+                        design_key=task.design_key,
+                        results=[],
+                        stats={},
+                        worker="cancelled",
+                        skipped=True,
+                    )
+                    continue
+                self._task_queue.put(task)
+                outstanding += 1
+
+        try:
+            feed()
+            for task in tasks:
+                while task.task_id not in completed:
+                    feed()
+                    try:
+                        message = self._result_queue.get(timeout=5.0)
+                    except _queue.Empty:
+                        # Workers only exit after the close() sentinel, so a
+                        # dead process mid-run means a hard crash (OOM kill,
+                        # native segfault).  Its task would never complete —
+                        # fail loudly instead of waiting forever, even while
+                        # other workers are still alive.
+                        dead = [p for p in self._processes if not p.is_alive()]
+                        if outstanding and dead:
+                            names = ", ".join(p.name or "?" for p in dead)
+                            raise ReproError(
+                                f"parallel worker process(es) died without reporting "
+                                f"a result ({names}); rerun with --jobs 1 to "
+                                f"reproduce the failure inline"
+                            ) from None
+                        continue
+                    task_id, design_key, records, stats, worker, error = message
+                    outstanding -= 1
+                    if error is not None:
+                        raise ReproError(
+                            f"parallel worker {worker} failed while settling "
+                            f"{design_key!r}:\n{error}"
+                        )
+                    name = self._units[design_key].name
+                    completed[task_id] = ChunkOutcome(
+                        task_id=task_id,
+                        design_key=design_key,
+                        results=[
+                            class_result_from_record(name, record) for record in records
+                        ],
+                        stats=stats,
+                        worker=worker,
+                    )
+                yield completed.pop(task.task_id)
+        finally:
+            self.close()
+
+    def cancel_design(self, design_key: str) -> None:
+        self._cancelled.add(design_key)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_queue is not None:
+            for _ in self._processes:
+                try:
+                    self._task_queue.put(None)
+                except (OSError, ValueError):
+                    break
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in (self._task_queue, self._result_queue):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._processes = []
+
+
+def create_executor(
+    jobs: int,
+    units: Dict[str, WorkUnit],
+    seeds: Optional[Dict[str, ContextSeed]] = None,
+) -> Executor:
+    """Executor factory: serial for ``jobs <= 1``, forked pool otherwise.
+
+    Platforms without the ``fork`` start method (e.g. Windows) degrade to
+    the serial executor with a warning rather than failing the audit.
+    """
+    if jobs <= 1:
+        return SerialExecutor(units, seeds=seeds)
+    if "fork" not in multiprocessing.get_all_start_methods():
+        warnings.warn(
+            "multiprocessing 'fork' start method unavailable; "
+            "running with --jobs 1 (serial) instead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return SerialExecutor(units, seeds=seeds)
+    return ProcessPoolExecutor(units, jobs)

@@ -1,0 +1,149 @@
+"""Content fingerprints for the on-disk result cache.
+
+A cached property result may only be replayed when *nothing that can change
+the result* has changed: the elaborated netlist, the semantically relevant
+parts of the detection configuration, the property class index, and the
+serialized-record schema.  All four are folded into one SHA-256 hex digest,
+the cache key of :class:`repro.exec.cache.ResultCache`.
+
+The module fingerprint is a canonical serialization of the flat RTL IR, not
+a pickle: expression trees are walked iteratively (AES S-box mux chains are
+deep enough to overflow the recursion limit) and every dict is visited in
+sorted order, so the digest is stable across Python versions and interning
+behaviour.
+
+Deliberately *excluded* from the config fingerprint are the knobs that do
+not change any individual property's outcome: ``stop_at_first_failure`` and
+``max_class`` only select *which* classes run, and ``jobs`` / ``cache_dir``
+/ ``use_cache`` only select *how* they run.  A truncated audit therefore
+warms the cache for a later full audit, and a serial run warms it for a
+parallel one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.core.config import DetectionConfig
+from repro.rtl import exprs
+from repro.rtl.ir import Module
+
+#: Version of the serialized class-record layout (see
+#: :mod:`repro.exec.records`).  Part of every cache key, so a layout change
+#: silently invalidates all previously written entries instead of trying to
+#: read them.
+CACHE_SCHEMA_VERSION = 2
+
+
+class _Hasher:
+    """Tiny token-stream hasher: feed()s are length-prefixed, so the token
+    boundaries are part of the digest (``("ab","c")`` != ``("a","bc")``)."""
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256()
+
+    def feed(self, token: str) -> None:
+        data = token.encode("utf-8")
+        self._digest.update(str(len(data)).encode("ascii"))
+        self._digest.update(b":")
+        self._digest.update(data)
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def _feed_expr(hasher: _Hasher, root: exprs.Expr) -> None:
+    """Feed a canonical pre-order token stream of ``root`` (iterative)."""
+    stack: List[object] = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, str):  # a literal marker token
+            hasher.feed(node)
+            continue
+        if isinstance(node, exprs.Const):
+            hasher.feed(f"const/{node.width}/{node.value}")
+        elif isinstance(node, exprs.Ref):
+            hasher.feed(f"ref/{node.width}/{node.name}")
+        elif isinstance(node, exprs.Unop):
+            hasher.feed(f"unop/{node.width}/{node.op}")
+            stack.append(node.operand)
+        elif isinstance(node, exprs.Binop):
+            hasher.feed(f"binop/{node.width}/{node.op}")
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, exprs.Mux):
+            hasher.feed(f"mux/{node.width}")
+            stack.append(node.otherwise)
+            stack.append(node.then)
+            stack.append(node.cond)
+        elif isinstance(node, exprs.Concat):
+            hasher.feed(f"concat/{node.width}/{len(node.parts)}")
+            stack.extend(reversed(node.parts))
+        elif isinstance(node, exprs.Slice):
+            hasher.feed(f"slice/{node.width}/{node.lsb}")
+            stack.append(node.base)
+        elif isinstance(node, exprs.Lut):
+            table = ",".join(str(entry) for entry in node.table)
+            hasher.feed(f"lut/{node.width}/{table}")
+            stack.append(node.index)
+        else:  # future node types must not silently alias an existing hash
+            hasher.feed(f"other/{type(node).__name__}/{node!r}")
+
+
+def module_fingerprint(module: Module) -> str:
+    """SHA-256 of the canonical serialization of an elaborated module."""
+    hasher = _Hasher()
+    hasher.feed("module")
+    hasher.feed(module.name)
+    for section, table in (("inputs", module.inputs), ("outputs", module.outputs),
+                           ("signals", module.signals)):
+        hasher.feed(section)
+        for name in sorted(table):
+            hasher.feed(f"{name}/{table[name]}")
+    hasher.feed("clocks")
+    for name in sorted(module.clocks):
+        hasher.feed(name)
+    hasher.feed("resets")
+    for name in sorted(module.resets):
+        hasher.feed(name)
+    hasher.feed("comb")
+    for name in sorted(module.comb):
+        hasher.feed(name)
+        _feed_expr(hasher, module.comb[name])
+    hasher.feed("registers")
+    for name in sorted(module.registers):
+        register = module.registers[name]
+        hasher.feed(f"{name}/{register.width}/{register.reset_value}")
+        _feed_expr(hasher, register.next)
+    return hasher.hexdigest()
+
+
+def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
+    """SHA-256 of the semantically relevant configuration fields.
+
+    ``backend_name`` must be the *resolved* backend (never ``"auto"``), so a
+    machine where ``auto`` picks a different solver does not replay results
+    whose counterexamples that solver never produced.
+    """
+    hasher = _Hasher()
+    hasher.feed("config")
+    inputs = list(config.inputs) if config.inputs is not None else None
+    hasher.feed(f"inputs/{inputs!r}")
+    hasher.feed(f"cumulative/{config.cumulative_assumptions}")
+    hasher.feed(f"assume-inputs/{config.assume_inputs_at_prove_time}")
+    hasher.feed("waivers")
+    for signal in sorted(config.waived_signals()):
+        hasher.feed(signal)
+    hasher.feed(f"backend/{backend_name}")
+    return hasher.hexdigest()
+
+
+def class_cache_key(module_fp: str, config_fp: str, index: int) -> str:
+    """Cache key of one property class under one (netlist, config) pair."""
+    hasher = _Hasher()
+    hasher.feed(f"repro-result-cache/v{CACHE_SCHEMA_VERSION}")
+    hasher.feed(module_fp)
+    hasher.feed(config_fp)
+    hasher.feed(f"class/{index}")
+    return hasher.hexdigest()

@@ -1,0 +1,294 @@
+"""Per-design work contexts: where property classes actually get settled.
+
+This module is the compute kernel of the execution subsystem.  A
+:class:`DesignWorkContext` owns everything one design needs to settle any of
+its property classes — the elaborated module, the fanout analysis, the
+dependency graph, and (crucially) one persistent :class:`IpcEngine` whose
+shared AIG and incremental solver context survive across every class the
+context settles.  Executors keep one context per design *per worker*, so
+clause reuse survives inside a worker even when the scheduler shards a
+design's classes across many workers.
+
+:meth:`DesignWorkContext.settle_class` is the single-class port of the
+scheduler loop that used to live inline in :mod:`repro.core.flow`: build the
+property, try the cheap structural discharge, then run the SAT settle loop
+with spurious-counterexample resolution (Sec. V-B scenario 1).  It returns a
+:class:`repro.exec.records.ClassResult` — events and outcome bundled — which
+is equally consumable in-process (serial executor) and across a process
+boundary (record round-trip).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DetectionConfig
+from repro.core.falsealarm import diagnose_counterexample
+from repro.core.properties import build_fanout_property, build_init_property
+from repro.core.report import PropertyOutcome
+from repro.exec.records import ClassResult, SpuriousRound
+from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.ipc.prop import IntervalProperty
+from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
+from repro.rtl.ir import Module
+from repro.rtl.netlist import DependencyGraph
+from repro.sat.backend import default_backend_name
+
+
+def resolved_backend_name(config: DetectionConfig) -> str:
+    """The concrete backend a config will run on (``"auto"`` resolved)."""
+    if config.solver_backend == "auto":
+        return default_backend_name()
+    return config.solver_backend
+
+
+@dataclass
+class WorkUnit:
+    """Everything a worker needs to settle classes of one design.
+
+    Picklable by construction: pool workers receive the unit table once (via
+    fork inheritance or the spawn pickle) and build their own contexts.
+    ``analysis`` ships the scheduler's already-computed fanout analysis so
+    workers do not recompute it per process (it is a pure function of
+    (module, config.inputs), so sharing it never changes results).
+    """
+
+    key: str
+    name: str
+    module: Module
+    config: DetectionConfig
+    analysis: Optional[FanoutAnalysis] = None
+
+
+_EMPTY_STATS = {"solver_calls": 0, "conflicts": 0, "cnf_clauses": 0}
+
+
+class DesignWorkContext:
+    """Settles property classes of one design with engine affinity."""
+
+    def __init__(
+        self,
+        unit: WorkUnit,
+        engine: Optional[IpcEngine] = None,
+        analysis: Optional[FanoutAnalysis] = None,
+        graph: Optional[DependencyGraph] = None,
+    ) -> None:
+        self._unit = unit
+        self._module = unit.module
+        self._config = unit.config
+        self._graph = graph
+        self._analysis = analysis if analysis is not None else unit.analysis
+        self._engine = engine
+        # True while the context's (self-created) engine has not settled
+        # anything yet: a settle on a virgin engine is already canonical.
+        # Externally provided engines may carry prior state, so they are
+        # conservatively treated as non-virgin.
+        self._virgin = engine is None
+        # Solver *work* (calls, conflicts) done on canonical re-settle
+        # engines (see settle_class) — folded into stats_snapshot() so the
+        # report's solver telemetry covers every engine this context used.
+        # CNF size is deliberately excluded: ``cnf_clauses`` stays the
+        # persistent context's encoding size, the metric the report always
+        # carried.
+        self._extra_stats = {"solver_calls": 0, "conflicts": 0}
+
+    # ------------------------------------------------------------------ #
+    # Lazily built collaborators (a fully cached run builds none of them)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def unit(self) -> WorkUnit:
+        return self._unit
+
+    @property
+    def graph(self) -> DependencyGraph:
+        if self._graph is None:
+            self._graph = DependencyGraph(self._module)
+        return self._graph
+
+    @property
+    def analysis(self) -> FanoutAnalysis:
+        if self._analysis is None:
+            self._analysis = compute_fanout_classes(
+                self._module, inputs=self._config.inputs, graph=self.graph
+            )
+        return self._analysis
+
+    @property
+    def engine(self) -> IpcEngine:
+        if self._engine is None:
+            self._engine = IpcEngine(
+                self._module, solver_backend=self._config.solver_backend
+            )
+        return self._engine
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        snapshot = dict(_EMPTY_STATS)
+        snapshot["solver_calls"] = self._extra_stats["solver_calls"]
+        snapshot["conflicts"] = self._extra_stats["conflicts"]
+        if self._engine is not None:
+            stats = self._engine.stats()
+            snapshot["solver_calls"] += stats["solver_calls"]
+            snapshot["conflicts"] += stats["conflicts"]
+            snapshot["cnf_clauses"] = stats["cnf_clauses"]
+        return snapshot
+
+    def backend_name(self) -> str:
+        if self._engine is None:
+            return resolved_backend_name(self._config)
+        return self._engine.solver_context.backend_name
+
+    # ------------------------------------------------------------------ #
+    # Property construction and settling
+    # ------------------------------------------------------------------ #
+
+    def build_property(self, k: int) -> IntervalProperty:
+        if k == 0:
+            return build_init_property(self._module, self.analysis, self._config)
+        return build_fanout_property(self._module, self.analysis, k, self._config)
+
+    def settle_class(self, k: int) -> ClassResult:
+        """Settle property class ``k`` (0 = init property) to a final result.
+
+        Fast path: settle against this context's shared incremental solver
+        state.  If that produced *any* counterexample (a terminal failure or
+        auto-resolved spurious rounds), the class is re-settled on a fresh,
+        single-use engine: which satisfying assignment a CDCL search finds
+        depends on everything the solver learned before, so a shared-context
+        counterexample would vary with how classes were sharded over
+        workers.  The canonical re-settle depends only on (module, config,
+        class index), making counterexamples, diagnoses and spurious-round
+        counts identical for every ``jobs`` setting — the determinism the
+        report contract and the result cache rely on.  Classes that simply
+        hold (the overwhelming majority) never pay for it, and neither does
+        a class whose fast path already ran on a virgin engine — that settle
+        *is* the canonical one.
+        """
+        virgin = self._virgin
+        result = self._settle_once(k)
+        if (result.rounds or result.terminal == "cex") and not virgin:
+            canonical = DesignWorkContext(
+                self._unit, analysis=self._analysis, graph=self._graph
+            )
+            result = canonical._settle_once(k)
+            # The re-proof's solver work happened on the canonical engine;
+            # fold it into this context's accounting so chunk deltas (and
+            # therefore the report's solver telemetry) cover it.
+            canonical_stats = canonical.stats_snapshot()
+            self._extra_stats["solver_calls"] += canonical_stats["solver_calls"]
+            self._extra_stats["conflicts"] += canonical_stats["conflicts"]
+        return result
+
+    def _settle_once(self, k: int) -> ClassResult:
+        """One settle pass against this context's own engine.
+
+        Structural discharge first; remaining obligations go to the shared
+        incremental solver context.  Counterexamples whose every cause is
+        provable by another property of the run are resolved by
+        re-verification with strengthened assumptions; each such round is
+        recorded so event replay reproduces the full ``CexFound``/``CexWaived``
+        history.
+        """
+        self._virgin = False
+        kind = "init" if k == 0 else "fanout"
+        prop = self.build_property(k)
+        base = dict(
+            design=self._unit.name,
+            index=k,
+            kind=kind,
+            property_name=prop.name,
+            commitments=len(prop.commitments),
+        )
+        if not prop.commitments:
+            # Nothing to prove for this class; trivially holds.
+            outcome = PropertyOutcome(
+                kind=kind,
+                index=k,
+                result=PropertyCheckResult(prop=prop, holds=True, structurally_proven=True),
+            )
+            return ClassResult(terminal="structural", outcome=outcome, **base)
+
+        prepared = self.engine.begin_check(prop)
+        if prepared.discharged:
+            outcome = PropertyOutcome(
+                kind=kind, index=k, result=self.engine.finish_check(prepared)
+            )
+            return ClassResult(terminal="structural", outcome=outcome, **base)
+
+        # SAT phase with per-class spurious-CEX resolution, against the
+        # context's persistent solver state.
+        rounds: List[SpuriousRound] = []
+        resolved = 0
+        extra_assumptions: List[str] = []
+        result = self.engine.finish_check(prepared)
+        while True:
+            if result.holds:
+                outcome = PropertyOutcome(
+                    kind=kind, index=k, result=result, resolved_spurious=resolved
+                )
+                return ClassResult(
+                    terminal="proven", outcome=outcome, rounds=rounds, **base
+                )
+            diagnosis = diagnose_counterexample(
+                self._module, self.analysis, prop, result.cex, self.graph, self._config
+            )
+            if diagnosis.auto_resolvable:
+                new_assumptions = [
+                    signal
+                    for signal in diagnosis.proposed_assumptions()
+                    if signal not in extra_assumptions
+                ]
+                if new_assumptions:
+                    rounds.append(
+                        SpuriousRound(
+                            cex=result.cex,
+                            diagnosis=diagnosis,
+                            waived_signals=list(new_assumptions),
+                            solve_s=result.runtime_seconds,
+                        )
+                    )
+                    extra_assumptions.extend(new_assumptions)
+                    resolved += 1
+                    prop = self.build_property(k)
+                    for signal in extra_assumptions:
+                        prop.assume_equal(signal, 0)
+                    result = self.engine.check(prop)
+                    continue
+            outcome = PropertyOutcome(
+                kind=kind,
+                index=k,
+                result=result,
+                diagnosis=diagnosis,
+                resolved_spurious=resolved,
+            )
+            return ClassResult(terminal="cex", outcome=outcome, rounds=rounds, **base)
+
+    def run_chunk(
+        self, indices: Sequence[int], stop_on_failure: bool
+    ) -> Tuple[List[ClassResult], Dict[str, object]]:
+        """Settle a shard of classes in index order; returns (results, stats).
+
+        The stats dict is this chunk's *delta* of the context's solver work
+        (plus the current CNF size snapshot and the chunk's worker-side wall
+        time), so a scheduler can aggregate per-design totals from chunks
+        that ran on different workers.
+        """
+        started = _time.perf_counter()
+        before = self.stats_snapshot()
+        results: List[ClassResult] = []
+        for k in indices:
+            result = self.settle_class(k)
+            results.append(result)
+            if stop_on_failure and not result.outcome.holds:
+                break
+        after = self.stats_snapshot()
+        stats = {
+            "backend": self.backend_name(),
+            "solver_calls": after["solver_calls"] - before["solver_calls"],
+            "conflicts": after["conflicts"] - before["conflicts"],
+            "cnf_clauses": after["cnf_clauses"],
+            "elapsed_s": _time.perf_counter() - started,
+        }
+        return results, stats

@@ -233,6 +233,62 @@ class TestBatch:
         assert "1 design(s)" in capsys.readouterr().out
 
 
+class TestExecutionFlags:
+    def test_jobs_flag_runs_parallel(self, clean_file, capsys):
+        assert main(["run", "--verilog", clean_file, "--top", "widget",
+                     "--jobs", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        # The report carries *effective* parallelism: this one-class design
+        # produces a single shard, so only one worker ever runs.
+        assert data["execution"]["workers"] == 1
+
+    def test_cache_dir_warm_rerun_reports_hits(self, clean_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        base = ["run", "--verilog", clean_file, "--top", "widget",
+                "--cache-dir", cache_dir, "--json"]
+        assert main(base) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["execution"]["cache_hits"] == 0
+        assert cold["execution"]["cache_misses"] > 0
+        assert main(base) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["execution"]["cache_hits"] == cold["execution"]["cache_misses"]
+        assert warm["solver"]["calls"] == 0
+
+    def test_no_cache_bypasses_a_warm_cache(self, clean_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        base = ["run", "--verilog", clean_file, "--top", "widget",
+                "--cache-dir", cache_dir, "--json"]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--no-cache"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["execution"]["cache_hits"] == 0
+
+    def test_batch_jobs_flag(self, capsys):
+        assert main(["batch", "RS232-HT-FREE", "--jobs", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["execution"]["workers"] == 2
+
+    def test_cache_stats_and_clear(self, clean_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["run", "--verilog", clean_file, "--top", "widget",
+              "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_requires_an_action_and_dir(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+        with pytest.raises(SystemExit):
+            main(["cache", "stats"])
+
+
 class TestReportSubcommand:
     def test_report_renders_saved_run(self, trojaned_file, tmp_path, capsys):
         out = tmp_path / "report.json"

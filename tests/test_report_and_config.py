@@ -40,6 +40,19 @@ class TestDetectionConfig:
         assert extended.waived_signals() == ["a", "b", "c"]
         assert extended.waivers[-1].reason == "review"
 
+    def test_with_waivers_preserves_execution_settings(self):
+        base = DetectionConfig(jobs=4, cache_dir="/tmp/c", use_cache=False)
+        extended = base.with_waivers("x")
+        assert extended.jobs == 4
+        assert extended.cache_dir == "/tmp/c"
+        assert not extended.use_cache
+
+    def test_execution_defaults(self):
+        config = DetectionConfig()
+        assert config.jobs == 1
+        assert config.cache_dir is None
+        assert config.use_cache
+
     def test_waiver_is_frozen(self):
         waiver = Waiver("x")
         with pytest.raises(Exception):
@@ -76,6 +89,18 @@ class TestConfigValidation:
 
     def test_config_error_is_repro_error(self):
         assert issubclass(ConfigError, ReproError)
+
+    def test_invalid_jobs(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            DetectionConfig(jobs=0)
+        with pytest.raises(ConfigError, match="jobs"):
+            DetectionConfig(jobs=-2)
+        assert DetectionConfig(jobs=8).jobs == 8
+
+    def test_empty_cache_dir(self):
+        with pytest.raises(ConfigError, match="cache_dir"):
+            DetectionConfig(cache_dir="   ")
+        assert DetectionConfig(cache_dir="/tmp/cache").cache_dir == "/tmp/cache"
 
 
 class TestReportSerialization:
@@ -128,6 +153,17 @@ class TestReportSerialization:
         with pytest.raises(ReproError, match="schema_version"):
             DetectionReport.from_dict(data)
 
+    def test_v1_reports_still_load(self, pipeline_module):
+        # v2 only added the execution block, so v1 documents stay readable
+        # with execution defaults filled in.
+        data = detect_trojans(pipeline_module).to_dict()
+        data["schema_version"] = 1
+        del data["execution"]
+        restored = DetectionReport.from_dict(data)
+        assert restored.verdict is Verdict.SECURE
+        assert restored.workers == 1
+        assert restored.cache_hits == 0 and restored.cache_misses == 0
+
     def test_from_dict_rejects_missing_version(self):
         with pytest.raises(ReproError, match="schema_version"):
             DetectionReport.from_dict({"design": "x", "verdict": "secure"})
@@ -143,6 +179,23 @@ class TestReportSerialization:
     def test_from_dict_rejects_malformed_payload(self):
         with pytest.raises(ReproError, match="malformed"):
             DetectionReport.from_dict({"schema_version": SCHEMA_VERSION, "verdict": "secure"})
+
+    def test_execution_block_round_trips(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        report.workers = 4
+        report.cache_hits = 2
+        report.cache_misses = 3
+        data = report.to_dict()
+        assert data["execution"] == {"workers": 4, "cache_hits": 2, "cache_misses": 3}
+        restored = DetectionReport.from_dict(data)
+        assert restored.workers == 4
+        assert restored.cache_hits == 2 and restored.cache_misses == 3
+        assert restored.to_dict() == data
+
+    def test_summary_mentions_cache_activity(self, pipeline_module):
+        report = detect_trojans(pipeline_module)
+        report.cache_hits = 2
+        assert "result cache" in report.summary()
 
 
 class TestDetectionReport:
