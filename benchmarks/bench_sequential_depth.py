@@ -1,0 +1,131 @@
+"""Sequential-mode depth-scaling benchmark: solve time vs unrolling bound.
+
+Unrolls the sequential trojan benchmarks against their golden models at a
+range of depths and measures the bounded divergence check two ways:
+
+* **incremental** — one persistent :class:`SequentialUnroller` checked at
+  every depth in order, reusing frames, Tseitin clauses and solver state
+  (what the detection flow's per-worker unroller affinity does), and
+* **fresh** — a brand-new unroller (and solver) per depth, the cost a
+  non-incremental implementation would pay.
+
+Emits ``BENCH_sequential.json`` with per-depth wall-clock times, clause
+reuse accounting, the detection outcome at each bound, and the incremental
+speedup over the fresh-solver baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sequential_depth.py
+    PYTHONPATH=src python benchmarks/bench_sequential_depth.py \
+        --benchmark RS232-SEQ-T3000 --depth 4 --depth 8 --depth 12
+
+This is a standalone artefact script (plain timings, one JSON document), not
+a pytest-benchmark suite like its siblings: its output feeds dashboards and
+CI trend lines rather than statistical micro-comparisons.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.core import SequentialUnroller
+from repro.trusthub import load_design
+
+DEFAULT_BENCHMARKS = ("RS232-SEQ-T3000", "AES-SEQ-T3000")
+DEFAULT_DEPTHS = (2, 4, 6, 8)
+
+
+def _check_at(unroller: SequentialUnroller, depth: int) -> Dict[str, object]:
+    started = time.perf_counter()
+    result = unroller.check_outputs(unroller.common_outputs, depth)
+    return {
+        "depth": depth,
+        "elapsed_s": time.perf_counter() - started,
+        "detected": not result.holds,
+        "first_divergence_cycle": result.first_divergence_cycle,
+        "cnf_new_clauses": result.cnf_new_clauses,
+        "cnf_reused_clauses": result.cnf_reused_clauses,
+        "sat_conflicts": result.sat_conflicts,
+    }
+
+
+def bench_benchmark(name: str, depths: List[int]) -> Dict[str, object]:
+    bench = load_design(name)
+    design = bench.elaborate()
+    golden = bench.elaborate_golden()
+
+    incremental_runs: List[Dict[str, object]] = []
+    shared = SequentialUnroller(design, golden)
+    for depth in depths:
+        incremental_runs.append(_check_at(shared, depth))
+
+    fresh_runs: List[Dict[str, object]] = []
+    for depth in depths:
+        fresh_runs.append(_check_at(SequentialUnroller(design, golden), depth))
+
+    incremental_total = sum(run["elapsed_s"] for run in incremental_runs)
+    fresh_total = sum(run["elapsed_s"] for run in fresh_runs)
+    return {
+        "benchmark": name,
+        "golden_top": bench.golden_top,
+        "depths": list(depths),
+        "incremental": incremental_runs,
+        "fresh_solver": fresh_runs,
+        "incremental_total_s": incremental_total,
+        "fresh_total_s": fresh_total,
+        "incremental_speedup": (fresh_total / incremental_total)
+        if incremental_total > 0
+        else None,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--benchmark", action="append", default=[], metavar="NAME",
+        help=f"sequential benchmark(s) to unroll (default: {', '.join(DEFAULT_BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--depth", action="append", type=int, default=[], metavar="K",
+        help=f"unrolling bound(s) to measure (default: {DEFAULT_DEPTHS})",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_sequential.json", metavar="FILE",
+        help="where to write the JSON artefact (default: BENCH_sequential.json)",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = args.benchmark or list(DEFAULT_BENCHMARKS)
+    depths = sorted(set(args.depth)) or list(DEFAULT_DEPTHS)
+
+    results = [bench_benchmark(name, depths) for name in benchmarks]
+    document = {
+        "benchmark": "sequential_depth_scaling",
+        "depths": depths,
+        "results": results,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for entry in results:
+        detected_at = next(
+            (run["depth"] for run in entry["incremental"] if run["detected"]), None
+        )
+        speedup = entry["incremental_speedup"]
+        speedup_note = f"{speedup:.2f}x" if speedup is not None else "n/a"
+        print(
+            f"{entry['benchmark']:18s} detected at depth {detected_at}  "
+            f"incremental {entry['incremental_total_s']:.2f}s vs fresh "
+            f"{entry['fresh_total_s']:.2f}s (speedup {speedup_note})"
+        )
+    print(f"artefact written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,9 @@ class Design:
         data_inputs: Sequence[str] = (),
         recommended_waivers: Sequence[str] = (),
         description: str = "",
+        golden: Optional[Module] = None,
+        golden_source: Optional[str] = None,
+        golden_top: Optional[str] = None,
     ) -> None:
         self._module = module
         self._name = name or module.name
@@ -61,6 +64,12 @@ class Design:
         self._data_inputs = tuple(data_inputs)
         self._recommended_waivers = tuple(recommended_waivers)
         self._description = description
+        # Golden model of the sequential detection mode: either an already
+        # elaborated module, or (source, top) elaborated lazily on first use
+        # so combinational audits never pay for it.
+        self._golden = golden
+        self._golden_source = golden_source
+        self._golden_top = golden_top
         self._analyses: Dict[Tuple[str, ...], FanoutAnalysis] = {}
         self._validate()
 
@@ -69,25 +78,69 @@ class Design:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_source(cls, source: str, top: str, name: Optional[str] = None) -> "Design":
-        """Elaborate Verilog ``source`` with top module ``top``."""
+    def from_source(
+        cls,
+        source: str,
+        top: str,
+        name: Optional[str] = None,
+        golden_top: Optional[str] = None,
+        golden_source: Optional[str] = None,
+    ) -> "Design":
+        """Elaborate Verilog ``source`` with top module ``top``.
+
+        ``golden_top`` optionally names the golden model of the sequential
+        detection mode — a module of the same source (or of
+        ``golden_source``, when given), elaborated lazily on first use.
+        """
         if not top:
             raise DesignError("from_source() needs the name of the top module")
+        if golden_source is not None and not golden_top:
+            raise DesignError(
+                "from_source() got golden_source without golden_top; name the "
+                "golden module to enable the sequential mode"
+            )
         module = elaborate_source(source, top)
-        return cls(module, name=name, origin="source")
+        return cls(
+            module,
+            name=name,
+            origin="source",
+            golden_source=(golden_source or source) if golden_top else None,
+            golden_top=golden_top,
+        )
 
     @classmethod
-    def from_file(cls, path: str, top: str, name: Optional[str] = None) -> "Design":
-        """Read and elaborate a Verilog file."""
+    def from_file(
+        cls,
+        path: str,
+        top: str,
+        name: Optional[str] = None,
+        golden_top: Optional[str] = None,
+        golden_path: Optional[str] = None,
+    ) -> "Design":
+        """Read and elaborate a Verilog file.
+
+        ``golden_top`` optionally names the sequential mode's golden model,
+        looked up in the same file — or in ``golden_path``, when given.
+        """
         if not top:
             raise DesignError(f"from_file({path!r}) needs the name of the top module")
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as error:
-            raise DesignError(f"cannot read Verilog file {path!r}: {error}") from error
+        if golden_path is not None and not golden_top:
+            raise DesignError(
+                f"from_file({path!r}) got golden_path without golden_top; name "
+                f"the golden module to enable the sequential mode"
+            )
+        source = cls._read_verilog(path)
+        golden_source: Optional[str] = None
+        if golden_top:
+            golden_source = cls._read_verilog(golden_path) if golden_path else source
         module = elaborate_source(source, top)
-        return cls(module, name=name or top, origin=f"file:{path}")
+        return cls(
+            module,
+            name=name or top,
+            origin=f"file:{path}",
+            golden_source=golden_source,
+            golden_top=golden_top,
+        )
 
     @classmethod
     def from_benchmark(cls, name: str) -> "Design":
@@ -102,12 +155,27 @@ class Design:
             data_inputs=bench.data_inputs,
             recommended_waivers=bench.recommended_waivers,
             description=bench.description,
+            golden_source=bench.source if bench.golden_top else None,
+            golden_top=bench.golden_top,
         )
 
     @classmethod
-    def from_module(cls, module: Module, name: Optional[str] = None) -> "Design":
+    def from_module(
+        cls,
+        module: Module,
+        name: Optional[str] = None,
+        golden: Optional[Module] = None,
+    ) -> "Design":
         """Wrap an already-elaborated :class:`repro.rtl.ir.Module`."""
-        return cls(module, name=name)
+        return cls(module, name=name, golden=golden)
+
+    @staticmethod
+    def _read_verilog(path: str) -> str:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError as error:
+            raise DesignError(f"cannot read Verilog file {path!r}: {error}") from error
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -138,6 +206,12 @@ class Design:
     @property
     def description(self) -> str:
         return self._description
+
+    def golden_module(self) -> Optional[Module]:
+        """The sequential mode's golden model, elaborated lazily (or None)."""
+        if self._golden is None and self._golden_top:
+            self._golden = elaborate_source(self._golden_source, self._golden_top)
+        return self._golden
 
     def analysis(self, inputs: Optional[Sequence[str]] = None) -> FanoutAnalysis:
         """Structural fanout analysis for ``inputs`` (cached per input set)."""
@@ -188,6 +262,14 @@ class Design:
         # config may name the traced inputs explicitly.  Only names that can
         # never resolve are rejected here.
         self._check_inputs(self._data_inputs)
+        if self._golden_top and self._golden is None and self._golden_source is None:
+            # Fail at construction with an actionable message; otherwise
+            # golden_module() would hand elaborate_source(None, ...) to the
+            # lexer mid-run and die with a bare TypeError.
+            raise DesignError(
+                f"design {self._name!r} names golden top {self._golden_top!r} "
+                f"but has no golden source to elaborate it from"
+            )
 
     def _check_inputs(self, inputs: Sequence[str]) -> None:
         unknown = [name for name in inputs if name not in self._module.inputs]

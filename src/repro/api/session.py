@@ -33,10 +33,30 @@ from repro.core.report import (
     check_schema_version,
     execution_summary_line,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.exec.executor import create_executor
 from repro.exec.scheduler import DesignPlan, run_plans
 from repro.rtl.ir import Module
+
+
+def _golden_for(design: Design, config: DetectionConfig) -> Optional[Module]:
+    """The design's golden model when the config runs sequentially (or None).
+
+    Raising here — before any flow or plan is built — turns "sequential mode
+    on a design with no golden model" into an immediate, actionable
+    configuration error instead of a mid-run failure.
+    """
+    if config.mode != "sequential":
+        return None
+    golden = design.golden_module()
+    if golden is None:
+        raise ConfigError(
+            f"design {design.name!r} has no golden model for the sequential "
+            f"mode; load it with a golden top (Design.from_file(..., "
+            f"golden_top=...), CLI --golden-top) or pick a benchmark with a "
+            f"catalogued golden design"
+        )
+    return golden
 
 
 class DetectionSession:
@@ -71,13 +91,15 @@ class DetectionSession:
     def flow(self) -> TrojanDetectionFlow:
         """The underlying scheduler (created lazily, then kept warm)."""
         if self._flow is None:
+            sequential = self._config.mode == "sequential"
             # Reuse the design's cached fanout analysis when the config traces
             # an explicit input set; with inputs=None the flow's own default
             # (the module's data inputs) applies, which may differ from the
-            # design's benchmark metadata.
+            # design's benchmark metadata.  Sequential runs need neither the
+            # analysis nor the partition — they need the golden model.
             analysis = (
                 self._design.analysis(self._config.inputs)
-                if self._config.inputs is not None
+                if self._config.inputs is not None and not sequential
                 else None
             )
             self._flow = TrojanDetectionFlow(
@@ -85,6 +107,7 @@ class DetectionSession:
                 self._config,
                 design_name=self._design.name,
                 analysis=analysis,
+                golden=_golden_for(self._design, self._config),
             )
         return self._flow
 
@@ -376,8 +399,11 @@ class BatchSession:
         """
         plans = []
         for position, (design, config) in enumerate(pairs):
+            sequential = config.mode == "sequential"
             analysis = (
-                design.analysis(config.inputs) if config.inputs is not None else None
+                design.analysis(config.inputs)
+                if config.inputs is not None and not sequential
+                else None
             )
             plans.append(
                 DesignPlan.build(
@@ -387,6 +413,7 @@ class BatchSession:
                     config=config,
                     analysis=analysis,
                     cache=open_result_cache(config),
+                    golden=_golden_for(design, config),
                 )
             )
         executor = create_executor(jobs, {plan.key: plan.work_unit for plan in plans})

@@ -6,12 +6,14 @@ design under test is unrolled for ``k`` cycles from its reset state next to a
 input sequence, and a SAT solver searches for an input sequence that makes
 any common output differ within the bound.
 
-The checker is *incremental*: the unrolled frames, the Tseitin encoding and
-the SAT solver state all persist across :meth:`BoundedTrojanChecker.check`
-calls, so checking bound ``k+1`` after bound ``k`` only encodes the one new
-transition frame and reuses every clause (and everything the solver learned)
-from the earlier bounds.  The per-bound miter is passed as a solver
-assumption, never asserted permanently.
+Since the sequential detection mode landed, the actual unrolling engine lives
+in :class:`repro.core.unroll.SequentialUnroller`; this baseline is a thin
+wrapper that checks *all* common outputs in one miter and reports the classic
+``BmcResult``.  The incremental behaviour is unchanged: the unrolled frames,
+the Tseitin encoding and the SAT solver state persist across
+:meth:`BoundedTrojanChecker.check` calls, so checking bound ``k+1`` after
+bound ``k`` only encodes the one new transition frame and reuses every clause
+(and everything the solver learned) from the earlier bounds.
 
 This baseline exposes the two limitations the paper addresses:
 
@@ -23,13 +25,10 @@ This baseline exposes the two limitations the paper addresses:
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.aig.aig import AIG, FALSE
-from repro.errors import DesignError
-from repro.ipc.transition import SymbolicFrame, TransitionEncoder
+from repro.core.unroll import SequentialUnroller
 from repro.rtl.ir import Module
 from repro.sat.context import SolverContext
 
@@ -71,126 +70,49 @@ class BoundedTrojanChecker:
         reset_values: Optional[Dict[str, int]] = None,
         solver_backend: str = "auto",
     ) -> None:
-        self._design = design
-        self._golden = golden
-        self._reset_values = dict(reset_values or {})
-        missing = [name for name in golden.inputs if name not in design.inputs]
-        if missing:
-            raise DesignError(f"golden model inputs missing from the design: {missing}")
-        self._aig = AIG()
-        self._design_encoder = TransitionEncoder(design, self._aig)
-        self._golden_encoder = TransitionEncoder(golden, self._aig)
-        self._context = SolverContext(self._aig, backend=solver_backend)
-        self._design_frames: List[SymbolicFrame] = []
-        self._golden_frames: List[SymbolicFrame] = []
-        # Per-cycle difference literals, cached by (cycle, output name).
-        self._differences: Dict[Tuple[int, str], int] = {}
+        self._unroller = SequentialUnroller(
+            design,
+            golden,
+            reset_values=reset_values,
+            solver_backend=solver_backend,
+        )
+
+    @property
+    def unroller(self) -> SequentialUnroller:
+        return self._unroller
 
     @property
     def solver_context(self) -> SolverContext:
-        return self._context
-
-    def _reset_value(self, module: Module, register: str) -> int:
-        if register in self._reset_values:
-            return self._reset_values[register]
-        reset = module.registers[register].reset_value
-        return reset if reset is not None else 0
-
-    def _initial_frame(
-        self, encoder: TransitionEncoder, module: Module, label: str
-    ) -> SymbolicFrame:
-        frame = encoder.new_frame(label)
-        for register in module.registers:
-            frame.bind_leaf(
-                register,
-                encoder.blaster.constant(self._reset_value(module, register), module.width_of(register)),
-            )
-        return frame
-
-    def _share_inputs_at(self, frame_index: int) -> None:
-        """Feed both models the same symbolic inputs at one time point."""
-        for name in self._golden.inputs:
-            if name in self._golden.clocks:
-                continue
-            shared = self._design_frames[frame_index].leaf_vector(name)
-            if not self._golden_frames[frame_index].is_bound(name):
-                self._golden_frames[frame_index].bind_leaf(name, shared)
-
-    def _unroll_to(self, bound: int) -> None:
-        """Extend the persistent unrolling of both models to ``bound`` cycles."""
-        if not self._design_frames:
-            self._design_frames.append(self._initial_frame(self._design_encoder, self._design, "dut@0"))
-            self._golden_frames.append(self._initial_frame(self._golden_encoder, self._golden, "gold@0"))
-        for cycle in range(len(self._design_frames), bound + 1):
-            self._share_inputs_at(cycle - 1)
-            self._design_frames.append(
-                self._design_encoder.step(self._design_frames[-1], f"dut@{cycle}")
-            )
-            self._golden_frames.append(
-                self._golden_encoder.step(self._golden_frames[-1], f"gold@{cycle}")
-            )
-
-    def _difference_literal(self, cycle: int, name: str) -> int:
-        key = (cycle, name)
-        literal = self._differences.get(key)
-        if literal is None:
-            blaster = self._design_encoder.blaster
-            left = self._design_frames[cycle].vector_of(name)
-            right = self._golden_frames[cycle].vector_of(name)
-            literal = self._aig.not_(blaster.equal_vectors(left, right))
-            self._differences[key] = literal
-        return literal
+        return self._unroller.solver_context
 
     def check(self, bound: int, checked_outputs: Optional[List[str]] = None) -> BmcResult:
         """Search for an input sequence of length ``bound`` that separates the
-        design from the golden model on any common output."""
-        started = _time.perf_counter()
-        common_outputs = checked_outputs or [
-            name for name in self._design.outputs if name in self._golden.outputs
-        ]
+        design from the golden model on any common output.
 
-        self._unroll_to(bound)
-        # Outputs with a combinational input path sample the input at the
-        # compared cycle itself, so the topmost frame must be shared too —
-        # and before any difference cone materialises an unshared leaf.
-        self._share_inputs_at(bound)
-        difference_by_cycle: List[List[Tuple[str, int]]] = []
-        for cycle in range(1, bound + 1):
-            difference_by_cycle.append(
-                [(name, self._difference_literal(cycle, name)) for name in common_outputs]
-            )
-
-        all_differences = [literal for cycle in difference_by_cycle for _, literal in cycle]
-        miter = self._aig.or_many(all_differences)
-        result = BmcResult(bound=bound, trojan_detected=False)
-        if miter == FALSE:
-            result.runtime_seconds = _time.perf_counter() - started
-            return result
-
-        goal = self._context.literal_of(miter)
-        outcome = self._context.solve([goal])
-        result.sat_conflicts = outcome.result.conflicts
-        result.cnf_new_clauses = outcome.new_clauses
-        result.cnf_reused_clauses = outcome.reused_clauses
-        if outcome.satisfiable:
-            result.trojan_detected = True
-            model = outcome.result.model
-            input_values = {}
-            for node in self._aig.cone_nodes([miter]):
-                if not self._aig.is_input(node):
-                    continue
-                literal = self._context.literal_of(node << 1)
-                value = model.get(abs(literal))
-                if value is None:
-                    continue
-                input_values[node] = int(value if literal > 0 else not value)
-            for cycle_index, differences in enumerate(difference_by_cycle, start=1):
-                for signal, literal in differences:
-                    if literal != FALSE and self._aig.evaluate([literal], input_values)[0]:
-                        result.failing_signals.append(signal)
-                        if result.failing_cycle is None:
-                            result.failing_cycle = cycle_index
-                if result.failing_cycle is not None:
-                    break
-        result.runtime_seconds = _time.perf_counter() - started
-        return result
+        Degenerate checks keep their classic vacuous semantics: a bound of 0
+        compares no cycles and a design sharing no output with the golden
+        model compares no signals — both return "no divergence found" (the
+        sequential *mode* treats the latter as a configuration error, but
+        this baseline's contract predates it).
+        """
+        if not checked_outputs:
+            # Classic fallback (`checked_outputs or [...]`): None *and* an
+            # empty list both mean "every common output".
+            checked_outputs = [
+                name
+                for name in self._unroller.design.outputs
+                if name in self._unroller.golden.outputs
+            ]
+        if bound < 1 or not checked_outputs:
+            return BmcResult(bound=bound, trojan_detected=False)
+        sequential = self._unroller.check_outputs(checked_outputs, bound)
+        return BmcResult(
+            bound=bound,
+            trojan_detected=not sequential.holds,
+            failing_cycle=sequential.first_divergence_cycle,
+            failing_signals=list(sequential.failing_outputs),
+            runtime_seconds=sequential.runtime_seconds,
+            sat_conflicts=sequential.sat_conflicts,
+            cnf_new_clauses=sequential.cnf_new_clauses,
+            cnf_reused_clauses=sequential.cnf_reused_clauses,
+        )

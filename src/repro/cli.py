@@ -4,13 +4,17 @@ A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
 
     repro-ht-detect run --benchmark AES-T1400 --json
     repro-ht-detect run --verilog design.v --top my_accel --inputs din,key
+    repro-ht-detect run --benchmark RS232-SEQ-T3000 --mode sequential --depth 20
     repro-ht-detect batch --family RS232 --jobs 4 --cache-dir ~/.repro-cache
     repro-ht-detect list-benchmarks
     repro-ht-detect report audit.json
     repro-ht-detect cache stats --cache-dir ~/.repro-cache
 
 ``run`` audits one design (``--json`` emits the schema-versioned report,
-``--verbose`` streams per-property events as they settle), ``batch`` audits
+``--verbose`` streams per-property events as they settle; ``--mode
+sequential`` switches to bounded design-vs-golden equivalence with
+``--depth``/``--reset-value``/``--golden-top`` and ``--vcd`` waveform
+export of the multi-cycle counterexample), ``batch`` audits
 many designs — sharded over ``--jobs`` worker processes — with cumulative
 solver statistics, ``list-benchmarks`` prints the bundled Trust-Hub-style
 catalogue, ``report`` re-renders a previously saved JSON report, and
@@ -119,6 +123,27 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="neither read nor write the result cache (even with --cache-dir)",
     )
+    parser.add_argument(
+        "--mode",
+        default="combinational",
+        choices=["combinational", "sequential"],
+        help="detection mode: the paper's golden-free combinational flow "
+             "(default) or bounded design-vs-golden sequential equivalence",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=10,
+        metavar="K",
+        help="sequential mode: unroll both models K cycles from reset (default: 10)",
+    )
+    parser.add_argument(
+        "--reset-value",
+        action="append",
+        default=[],
+        metavar="REG=VALUE",
+        help="sequential mode: override one register's reset value (repeatable)",
+    )
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -150,6 +175,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmark", metavar="NAME", help="bundled Trust-Hub-style benchmark name"
     )
     run_parser.add_argument("--top", help="top module name (required with --verilog)")
+    run_parser.add_argument(
+        "--golden-top", metavar="NAME",
+        help="sequential mode: top module of the golden model "
+             "(same file as --verilog, or --golden; benchmarks default to "
+             "their catalogued golden design)",
+    )
+    run_parser.add_argument(
+        "--golden", metavar="FILE",
+        help="sequential mode: separate Verilog file holding --golden-top",
+    )
+    run_parser.add_argument(
+        "--vcd", metavar="FILE",
+        help="write the counterexample trace (design instance) as a VCD waveform",
+    )
     _add_config_options(run_parser)
     _add_output_options(run_parser)
 
@@ -228,6 +267,27 @@ def _normalise_argv(argv: List[str]) -> List[str]:
 # ---------------------------------------------------------------------- #
 
 
+def _parse_reset_values(items: List[str]) -> Optional[dict]:
+    """Parse repeated ``--reset-value REG=VALUE`` flags into a dict."""
+    if not items:
+        return None
+    values = {}
+    for item in items:
+        name, separator, text = item.partition("=")
+        name = name.strip()
+        if not separator or not name or not text.strip():
+            raise ReproError(
+                f"--reset-value expects REGISTER=VALUE, got {item!r}"
+            )
+        try:
+            values[name] = int(text.strip(), 0)
+        except ValueError as error:
+            raise ReproError(
+                f"--reset-value {item!r}: value is not an integer"
+            ) from error
+    return values
+
+
 def _shared_config_kwargs(args: argparse.Namespace) -> dict:
     """Config fields that map 1:1 from CLI flags, shared by run and batch."""
     return dict(
@@ -238,6 +298,9 @@ def _shared_config_kwargs(args: argparse.Namespace) -> dict:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        mode=args.mode,
+        depth=args.depth,
+        reset_values=_parse_reset_values(args.reset_value),
     )
 
 
@@ -313,11 +376,25 @@ def _emit_json(args: argparse.Namespace, document: str, summary: str) -> None:
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.benchmark:
+        if args.golden or args.golden_top:
+            parser.error("--golden/--golden-top apply to --verilog designs only; "
+                         "benchmarks use their catalogued golden model")
         design = Design.from_benchmark(args.benchmark)
     else:
         if not args.top:
             parser.error("--top is required with --verilog")
-        design = Design.from_file(args.verilog, top=args.top)
+        if args.golden and not args.golden_top:
+            parser.error("--golden needs --golden-top to name the golden module")
+        if args.golden_top and args.mode != "sequential":
+            # Silently ignoring the golden model would let a forgotten
+            # --mode sequential print a SECURE verdict that compared nothing.
+            parser.error("--golden-top/--golden require --mode sequential")
+        design = Design.from_file(
+            args.verilog,
+            top=args.top,
+            golden_top=args.golden_top,
+            golden_path=args.golden,
+        )
 
     session = DetectionSession(design, config=_config_from_args(args, design))
     if args.verbose:
@@ -330,7 +407,33 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         report = session.run()
 
     _emit_json(args, report.to_json(), report.summary())
+    if args.vcd:
+        _write_cex_vcd(args.vcd, report, design)
     return 0 if report.is_secure else 1
+
+
+def _write_cex_vcd(path: str, report: DetectionReport, design: Design) -> None:
+    """Dump the report's counterexample (design instance) as a VCD waveform.
+
+    Sequential counterexamples render as full multi-cycle traces — one
+    snapshot per unrolled cycle; combinational ones cover the property's
+    one-cycle window.  The waveform is a side artifact of a finished audit:
+    having nothing to dump or an unwritable path is reported on stderr, it
+    never discards the report or changes the exit code.
+    """
+    from repro.sim import trace_from_counterexample, write_vcd
+
+    if report.counterexample is None:
+        print(f"note: no counterexample to dump, {path!r} not written", file=sys.stderr)
+        return
+    trace = trace_from_counterexample(report.counterexample, instance=0)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            write_vcd(trace, design.module.signals, handle, module_name=design.module.name)
+    except OSError as error:
+        print(f"error: cannot write VCD waveform {path!r}: {error}", file=sys.stderr)
+        return
+    print(f"counterexample waveform written to {path}", file=sys.stderr)
 
 
 def _select_benchmarks(args: argparse.Namespace, parser: argparse.ArgumentParser) -> List[str]:

@@ -12,8 +12,13 @@ Public entry points:
 * :mod:`repro.core.report` — verdicts and machine-readable detection reports.
 """
 
-from repro.core.config import DetectionConfig, Waiver
+from repro.core.config import DETECTION_MODES, DetectionConfig, Waiver
 from repro.core.flow import TrojanDetectionFlow, detect_trojans
+from repro.core.unroll import (
+    SequentialCheckResult,
+    SequentialUnroller,
+    sequential_output_classes,
+)
 from repro.core.properties import (
     build_init_property,
     build_fanout_property,
@@ -25,10 +30,14 @@ from repro.core.replay import ReplayResult, replay_counterexample
 from repro.core.report import DetectionReport, PropertyOutcome, Verdict
 
 __all__ = [
+    "DETECTION_MODES",
     "DetectionConfig",
     "Waiver",
     "TrojanDetectionFlow",
     "detect_trojans",
+    "SequentialCheckResult",
+    "SequentialUnroller",
+    "sequential_output_classes",
     "build_init_property",
     "build_fanout_property",
     "build_trojan_property",

@@ -3,9 +3,40 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
+
+#: Supported detection modes: the paper's golden-free combinational 2-safety
+#: flow (default) and the bounded design-vs-golden sequential mode.
+DETECTION_MODES = ("combinational", "sequential")
+
+
+def _require_int(value: object, name: str, minimum: int) -> None:
+    """Reject non-integers *including* ``bool`` for integer config fields.
+
+    ``bool`` is a subclass of ``int``, so a bare ``isinstance(value, int)``
+    silently accepts ``jobs=True`` (a worker count of 1) or ``depth=False``;
+    callers passing booleans almost certainly mixed up two keyword arguments,
+    which must fail at construction, not mid-run.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value!r}")
+
+
+def validate_reset_entry(name: object, value: object) -> None:
+    """Validate one ``reset_values`` entry (register name -> reset value).
+
+    The single rule set for reset overrides, shared by
+    :class:`DetectionConfig` and by direct
+    :class:`repro.core.unroll.SequentialUnroller` construction — whichever
+    entry path an override takes, the same inputs are accepted.
+    """
+    if not isinstance(name, str) or not name.strip():
+        raise ConfigError(f"reset_values keys must be register names, got {name!r}")
+    _require_int(value, f"reset value of {name!r}", 0)
 
 
 def validate_input_names(names: Sequence[str], source: str = "") -> None:
@@ -99,6 +130,21 @@ class DetectionConfig:
         When false, ``cache_dir`` is neither read nor written (the CLI's
         ``--no-cache``); useful for forcing a clean re-proof into an
         otherwise warm cache directory.
+    mode:
+        Detection mode.  ``"combinational"`` (default) is the paper's
+        golden-free 2-safety flow over a symbolic starting state;
+        ``"sequential"`` unrolls the design against a *golden* model for
+        ``depth`` cycles from the reset state and checks every common output
+        for bounded divergence (one property class per output; see
+        :mod:`repro.core.unroll`).
+    depth:
+        Unrolling bound of the sequential mode (cycles from reset, >= 1).
+        Ignored by the combinational mode.
+    reset_values:
+        Per-register overrides of the sequential mode's reset state
+        (register name -> value); registers without an override start at
+        their declared reset value, or 0.  Ignored by the combinational
+        mode.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -111,6 +157,9 @@ class DetectionConfig:
     jobs: int = 1
     cache_dir: Optional[str] = None
     use_cache: bool = True
+    mode: str = "combinational"
+    depth: int = 10
+    reset_values: Optional[Dict[str, int]] = None
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -121,12 +170,25 @@ class DetectionConfig:
                 f"unknown solver backend {self.solver_backend!r}; "
                 f"available: auto, {', '.join(available_backends())}"
             )
-        if self.max_class is not None and self.max_class < 0:
-            raise ConfigError(f"max_class must be >= 0, got {self.max_class}")
-        if not isinstance(self.jobs, int) or self.jobs < 1:
-            raise ConfigError(f"jobs must be an integer >= 1, got {self.jobs!r}")
+        if self.max_class is not None:
+            _require_int(self.max_class, "max_class", 0)
+        _require_int(self.jobs, "jobs", 1)
         if self.cache_dir is not None and not str(self.cache_dir).strip():
             raise ConfigError("cache_dir must be a non-empty path (or None)")
+        if self.mode not in DETECTION_MODES:
+            raise ConfigError(
+                f"unknown detection mode {self.mode!r}; "
+                f"available: {', '.join(DETECTION_MODES)}"
+            )
+        _require_int(self.depth, "depth", 1)
+        if self.reset_values is not None:
+            if not isinstance(self.reset_values, dict):
+                raise ConfigError(
+                    f"reset_values must be a dict of register name -> value, "
+                    f"got {self.reset_values!r}"
+                )
+            for name, value in self.reset_values.items():
+                validate_reset_entry(name, value)
         if self.inputs is not None:
             validate_input_names(self.inputs)
 

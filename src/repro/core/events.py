@@ -41,8 +41,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.ipc.cex import CounterExample
 
 
-def class_label(index: int) -> str:
-    """Human-readable name of property class ``index`` (0 = init property)."""
+def class_label(index: int, kind: Optional[str] = None) -> str:
+    """Human-readable name of property class ``index``.
+
+    Combinational classes read "init property" (index 0) / "fanout property
+    k"; sequential classes (``kind == "sequential"``) read "sequential
+    property k".  ``kind`` is optional because not every event carries one —
+    index-based naming is the combinational default.
+    """
+    if kind == "sequential":
+        return f"sequential property {index}"
     return "init property" if index == 0 else f"fanout property {index}"
 
 
@@ -81,9 +89,13 @@ class ClassEvent(RunEvent):
 class PropertyScheduled(ClassEvent):
     """A property was built and scheduled (emitted in class order)."""
 
-    kind: str  # "init" or "fanout"
+    kind: str  # "init", "fanout", or "sequential"
     property_name: str
     commitments: int
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,10 @@ class StructurallyDischarged(ClassEvent):
     outcome: "PropertyOutcome"
     from_cache: bool = False
 
+    @property
+    def label(self) -> str:
+        return self.outcome.label
+
 
 @dataclass(frozen=True)
 class ClassProven(ClassEvent):
@@ -109,6 +125,10 @@ class ClassProven(ClassEvent):
     outcome: "PropertyOutcome"
     solve_s: float = 0.0
     from_cache: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.outcome.label
 
 
 @dataclass(frozen=True)
@@ -127,6 +147,13 @@ class CexFound(ClassEvent):
     #: Wall-clock seconds of the check that produced this counterexample.
     solve_s: float = 0.0
     from_cache: bool = False
+    #: Property kind of the failing class ("init", "fanout", "sequential");
+    #: makes the label correct without an outcome on the event.
+    kind: str = "fanout"
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
 
 
 @dataclass(frozen=True)

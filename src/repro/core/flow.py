@@ -57,6 +57,7 @@ class TrojanDetectionFlow:
         config: Optional[DetectionConfig] = None,
         design_name: Optional[str] = None,
         analysis: Optional[FanoutAnalysis] = None,
+        golden: Optional[Module] = None,
     ) -> None:
         self._module = module
         # Reports and events carry the *design* name (e.g. the benchmark
@@ -64,12 +65,23 @@ class TrojanDetectionFlow:
         # than the top module's identifier.
         self._design_name = design_name or module.name
         self._config = config or DetectionConfig()
-        self._graph = DependencyGraph(module)
-        # A pre-computed fanout analysis (e.g. Design.analysis()'s cache) may
-        # be passed in; it must match the config's traced inputs.
-        self._analysis = analysis if analysis is not None else compute_fanout_classes(
-            module, inputs=self._config.inputs, graph=self._graph
-        )
+        # The golden model of the sequential mode (None for the default
+        # combinational flow, which is golden-free by construction).
+        self._golden = golden
+        self._sequential = self._config.mode == "sequential"
+        if self._sequential:
+            # The fanout partition and dependency graph drive only the
+            # combinational properties and the coverage check; sequential
+            # runs schedule one class per common design/golden output.
+            self._graph = None
+            self._analysis = None
+        else:
+            self._graph = DependencyGraph(module)
+            # A pre-computed fanout analysis (e.g. Design.analysis()'s cache)
+            # may be passed in; it must match the config's traced inputs.
+            self._analysis = analysis if analysis is not None else compute_fanout_classes(
+                module, inputs=self._config.inputs, graph=self._graph
+            )
         # The engine is created on first use: a fully cache-warm run (and a
         # jobs > 1 run, where workers own their engines) never builds one.
         self._lazy_engine: Optional[IpcEngine] = None
@@ -87,8 +99,14 @@ class TrojanDetectionFlow:
         return self._config
 
     @property
-    def analysis(self) -> FanoutAnalysis:
+    def analysis(self) -> Optional[FanoutAnalysis]:
+        """The fanout partition of combinational runs (None in sequential mode)."""
         return self._analysis
+
+    @property
+    def golden(self) -> Optional[Module]:
+        """The sequential mode's golden model (None for combinational runs)."""
+        return self._golden
 
     @property
     def engine(self) -> IpcEngine:
@@ -137,17 +155,24 @@ class TrojanDetectionFlow:
             analysis=self._analysis,
             graph=self._graph,
             cache=cache,
+            golden=self._golden,
+        )
+        # Sequential contexts own a SequentialUnroller instead of an IPC
+        # engine; seeding the flow's engine there would build (and leak) an
+        # engine no sequential class ever uses.
+        seed = (
+            ContextSeed()
+            if self._sequential
+            else ContextSeed(
+                engine_factory=lambda: self.engine,
+                analysis=self._analysis,
+                graph=self._graph,
+            )
         )
         executor = create_executor(
             self._config.jobs,
             {plan.key: plan.work_unit},
-            seeds={
-                plan.key: ContextSeed(
-                    engine_factory=lambda: self.engine,
-                    analysis=self._analysis,
-                    graph=self._graph,
-                )
-            },
+            seeds={plan.key: seed},
         )
         try:
             yield from run_plans([plan], executor)

@@ -26,11 +26,13 @@ from repro.rtl.fanout import FanoutAnalysis
 #: to the dict layout; ``from_dict`` refuses versions it does not know.
 #: v2: added the per-run ``execution`` block (workers, cache_hits,
 #: cache_misses) emitted by the parallel execution subsystem.
-SCHEMA_VERSION = 2
+#: v3: added the per-outcome sequential-mode fields ``depth_reached`` and
+#: ``first_divergence_cycle`` (null for combinational outcomes).
+SCHEMA_VERSION = 3
 
-#: Versions ``from_dict`` can still read.  v1 is accepted because v2 is
-#: purely additive (the execution block defaults when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2)
+#: Versions ``from_dict`` can still read.  v1/v2 are accepted because v2 and
+#: v3 are purely additive (missing blocks and fields default when absent).
+READABLE_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -71,17 +73,27 @@ class Verdict(Enum):
 class PropertyOutcome:
     """Result of one property of the iterative flow."""
 
-    kind: str  # "init" or "fanout"
-    index: int  # 0 for the init property, k for fanout_property_k
+    kind: str  # "init", "fanout", or "sequential"
+    index: int  # 0 for the init property, k for fanout_property_k /
+    #            the k-th output class of the sequential mode
     result: PropertyCheckResult
     diagnosis: Optional[CexDiagnosis] = None
     # Number of spurious counterexamples that were resolved by re-verification
     # with strengthened assumptions (Sec. V-B scenario 1) before this result.
     resolved_spurious: int = 0
+    # Sequential-mode bookkeeping (None for combinational outcomes): the
+    # unrolling bound this class was checked to, and the earliest cycle at
+    # which the design diverged from the golden model (None when it held).
+    depth_reached: Optional[int] = None
+    first_divergence_cycle: Optional[int] = None
 
     @property
     def label(self) -> str:
-        return "init property" if self.kind == "init" else f"fanout property {self.index}"
+        if self.kind == "init":
+            return "init property"
+        if self.kind == "sequential":
+            return f"sequential property {self.index}"
+        return f"fanout property {self.index}"
 
     @property
     def holds(self) -> bool:
@@ -245,6 +257,12 @@ class DetectionReport:
         lines = [f"design {self.design}: {self.verdict.value.upper()}"]
         if self.detected_by:
             lines.append(f"  detected by: {self.detected_by}")
+        failing = self.failing_outcome()
+        if failing is not None and failing.first_divergence_cycle is not None:
+            lines.append(
+                f"  first divergence from the golden model at cycle "
+                f"{failing.first_divergence_cycle} (bound {failing.depth_reached})"
+            )
         lines.append(
             f"  properties checked: {self.properties_checked()}"
             f" (max proof runtime {self.max_property_runtime():.2f} s,"
@@ -299,6 +317,8 @@ def _outcome_to_dict(outcome: PropertyOutcome) -> Dict[str, Any]:
         "cnf_reused_clauses": result.cnf_reused_clauses,
         "solver_calls": result.solver_calls,
         "counterexample": _cex_to_dict(result.cex),
+        "depth_reached": outcome.depth_reached,
+        "first_divergence_cycle": outcome.first_divergence_cycle,
     }
 
 
@@ -325,6 +345,8 @@ def _outcome_from_dict(data: Dict[str, Any]) -> PropertyOutcome:
         index=data["index"],
         result=result,
         resolved_spurious=data.get("resolved_spurious", 0),
+        depth_reached=data.get("depth_reached"),
+        first_divergence_cycle=data.get("first_divergence_cycle"),
     )
 
 

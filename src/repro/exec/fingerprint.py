@@ -32,8 +32,9 @@ from repro.rtl.ir import Module
 #: Version of the serialized class-record layout (see
 #: :mod:`repro.exec.records`).  Part of every cache key, so a layout change
 #: silently invalidates all previously written entries instead of trying to
-#: read them.
-CACHE_SCHEMA_VERSION = 2
+#: read them.  v3: outcome records gained the sequential-mode fields
+#: (``depth_reached``, ``first_divergence_cycle``).
+CACHE_SCHEMA_VERSION = 3
 
 
 class _Hasher:
@@ -125,17 +126,49 @@ def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
     ``backend_name`` must be the *resolved* backend (never ``"auto"``), so a
     machine where ``auto`` picks a different solver does not replay results
     whose counterexamples that solver never produced.
+
+    The detection ``mode`` is always part of the digest; every other knob is
+    folded in only for the mode it can affect.  Sequential outcomes depend
+    on ``depth`` and ``reset_values`` but not on traced inputs, waivers, or
+    the property-shape switches (the golden-model check has no fanout
+    partition and no assumption machinery), and vice versa for
+    combinational outcomes — hashing a knob into the mode it cannot
+    influence would only make warm caches go cold.  A sequential rerun at
+    the *same* depth therefore replays entirely from cache even when the
+    waiver list changes, while a deeper bound misses and re-proves.
     """
     hasher = _Hasher()
     hasher.feed("config")
-    inputs = list(config.inputs) if config.inputs is not None else None
-    hasher.feed(f"inputs/{inputs!r}")
-    hasher.feed(f"cumulative/{config.cumulative_assumptions}")
-    hasher.feed(f"assume-inputs/{config.assume_inputs_at_prove_time}")
-    hasher.feed("waivers")
-    for signal in sorted(config.waived_signals()):
-        hasher.feed(signal)
     hasher.feed(f"backend/{backend_name}")
+    hasher.feed(f"mode/{config.mode}")
+    if config.mode == "sequential":
+        hasher.feed(f"depth/{config.depth}")
+        hasher.feed("reset-values")
+        for name in sorted(config.reset_values or {}):
+            hasher.feed(f"{name}/{config.reset_values[name]}")
+    else:
+        inputs = list(config.inputs) if config.inputs is not None else None
+        hasher.feed(f"inputs/{inputs!r}")
+        hasher.feed(f"cumulative/{config.cumulative_assumptions}")
+        hasher.feed(f"assume-inputs/{config.assume_inputs_at_prove_time}")
+        hasher.feed("waivers")
+        for signal in sorted(config.waived_signals()):
+            hasher.feed(signal)
+    return hasher.hexdigest()
+
+
+def pair_module_fingerprint(design_fp: str, golden_fp: str) -> str:
+    """Combined netlist fingerprint of a (design, golden model) pair.
+
+    Sequential-mode cache entries depend on *both* netlists: a re-generated
+    golden model must invalidate replays just like a changed design.  The
+    pair digest is ordered (design first), so swapping the two roles never
+    aliases.
+    """
+    hasher = _Hasher()
+    hasher.feed("module-pair")
+    hasher.feed(design_fp)
+    hasher.feed(golden_fp)
     return hasher.hexdigest()
 
 

@@ -58,7 +58,7 @@ class ClassResult:
 
     design: str
     index: int
-    kind: str  # "init" or "fanout"
+    kind: str  # "init", "fanout", or "sequential"
     property_name: str
     commitments: int
     terminal: str  # "structural" | "proven" | "cex"
@@ -87,6 +87,7 @@ class ClassResult:
                     auto_resolvable=True,
                     solve_s=round_.solve_s,
                     from_cache=self.from_cache,
+                    kind=self.kind,
                 )
             )
             events.append(
@@ -125,6 +126,7 @@ class ClassResult:
                     auto_resolvable=False,
                     solve_s=self.outcome.result.runtime_seconds,
                     from_cache=self.from_cache,
+                    kind=self.kind,
                 )
             )
         return events

@@ -31,10 +31,16 @@ from repro.core.config import DetectionConfig
 from repro.core.coverage import check_signal_coverage
 from repro.core.events import RunEvent, RunFinished, RunStarted
 from repro.core.report import DetectionReport, Verdict
-from repro.errors import ReproError
+from repro.core.unroll import sequential_output_classes
+from repro.errors import ConfigError, ReproError
 from repro.exec.cache import ResultCache
 from repro.exec.executor import ChunkOutcome, ChunkTask, Executor
-from repro.exec.fingerprint import class_cache_key, config_fingerprint, module_fingerprint
+from repro.exec.fingerprint import (
+    class_cache_key,
+    config_fingerprint,
+    module_fingerprint,
+    pair_module_fingerprint,
+)
 from repro.exec.records import ClassResult, class_result_from_record, class_result_to_record
 from repro.exec.worker import WorkUnit, resolved_backend_name
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
@@ -81,15 +87,24 @@ def shard_indices(
 
 @dataclass
 class DesignPlan:
-    """One design's schedule: replays from cache plus shards of misses."""
+    """One design's schedule: replays from cache plus shards of misses.
+
+    ``depth`` is the number of *scheduled property classes* — the fanout
+    placement depth in combinational mode, the number of common
+    design/golden outputs in sequential mode (one class per output; the
+    cycle bound lives in ``config.depth``).  ``analysis`` is None for
+    sequential plans: the fanout partition plays no role there, and
+    skipping it keeps cache-warm sequential runs free of structural work.
+    """
 
     key: str
     name: str
     module: Module
     config: DetectionConfig
-    analysis: FanoutAnalysis
+    analysis: Optional[FanoutAnalysis]
     depth: int
     backend_name: str
+    golden: Optional[Module] = None
     graph: Optional[DependencyGraph] = None
     cache: Optional[ResultCache] = None
     cache_keys: Dict[int, str] = field(default_factory=dict)
@@ -107,21 +122,37 @@ class DesignPlan:
         analysis: Optional[FanoutAnalysis] = None,
         graph: Optional[DependencyGraph] = None,
         cache: Optional[ResultCache] = None,
+        golden: Optional[Module] = None,
     ) -> "DesignPlan":
-        if analysis is None:
-            analysis = compute_fanout_classes(module, inputs=config.inputs, graph=graph)
-        depth = analysis.placement_depth
-        if config.max_class is not None:
-            depth = min(depth, config.max_class)
+        if config.mode == "sequential":
+            if golden is None:
+                raise ConfigError(
+                    f"sequential mode needs a golden model for design {name!r}; "
+                    f"pass one (benchmarks: a catalogued golden top, CLI: "
+                    f"--golden-top) or use the combinational mode"
+                )
+            # max_class bounds *fanout iterations*; applying it here would
+            # silently drop output classes and turn a trojan on a
+            # later-declared output into a vacuous SECURE verdict, so
+            # sequential schedules always cover every common output.
+            depth = len(sequential_output_classes(module, golden))
+        else:
+            golden = None  # a stray golden model must not leak into cache keys
+            if analysis is None:
+                analysis = compute_fanout_classes(module, inputs=config.inputs, graph=graph)
+            depth = analysis.placement_depth
+            if config.max_class is not None:
+                depth = min(depth, config.max_class)
         backend_name = resolved_backend_name(config)
         plan = cls(
             key=key,
             name=name,
             module=module,
             config=config,
-            analysis=analysis,
+            analysis=analysis if config.mode != "sequential" else None,
             depth=depth,
             backend_name=backend_name,
+            golden=golden,
             graph=graph,
             cache=cache if config.use_cache else None,
         )
@@ -133,6 +164,8 @@ class DesignPlan:
             self.miss_indices = list(range(self.depth))
             return
         module_fp = module_fingerprint(self.module)
+        if self.golden is not None:
+            module_fp = pair_module_fingerprint(module_fp, module_fingerprint(self.golden))
         config_fp = config_fingerprint(self.config, self.backend_name)
         for index in range(self.depth):
             self.cache_keys[index] = class_cache_key(module_fp, config_fp, index)
@@ -175,6 +208,7 @@ class DesignPlan:
             module=self.module,
             config=self.config,
             analysis=self.analysis,
+            golden=self.golden,
         )
 
     def make_tasks(
@@ -256,9 +290,11 @@ class DesignPlan:
         stopped_early = self.config.stop_at_first_failure and any(
             not result.outcome.holds for result in merged
         )
-        if not stopped_early:
+        if not stopped_early and self.analysis is not None:
             # Coverage check (Algorithm 1, line 17): only meaningful when the
-            # run was not cut short by a failing property.
+            # run was not cut short by a failing property.  Sequential plans
+            # (analysis is None) have no fanout partition to cover — their
+            # soundness story is the bound, reported per outcome instead.
             graph = self.graph if self.graph is not None else DependencyGraph(self.module)
             coverage = check_signal_coverage(self.module, self.analysis, graph)
             report.coverage = coverage

@@ -28,6 +28,8 @@ from repro.core.config import DetectionConfig
 from repro.core.falsealarm import diagnose_counterexample
 from repro.core.properties import build_fanout_property, build_init_property
 from repro.core.report import PropertyOutcome
+from repro.core.unroll import SequentialUnroller, sequential_output_classes
+from repro.errors import ConfigError
 from repro.exec.records import ClassResult, SpuriousRound
 from repro.ipc.engine import IpcEngine, PropertyCheckResult
 from repro.ipc.prop import IntervalProperty
@@ -53,6 +55,8 @@ class WorkUnit:
     ``analysis`` ships the scheduler's already-computed fanout analysis so
     workers do not recompute it per process (it is a pure function of
     (module, config.inputs), so sharing it never changes results).
+    ``golden`` is the golden model of the sequential detection mode (None
+    for combinational work).
     """
 
     key: str
@@ -60,6 +64,7 @@ class WorkUnit:
     module: Module
     config: DetectionConfig
     analysis: Optional[FanoutAnalysis] = None
+    golden: Optional[Module] = None
 
 
 _EMPTY_STATS = {"solver_calls": 0, "conflicts": 0, "cnf_clauses": 0}
@@ -81,6 +86,11 @@ class DesignWorkContext:
         self._graph = graph
         self._analysis = analysis if analysis is not None else unit.analysis
         self._engine = engine
+        # Sequential-mode collaborators: one persistent unroller per context
+        # (the sequential counterpart of the engine's clause-reuse affinity)
+        # and the fixed output -> class mapping.
+        self._unroller: Optional[SequentialUnroller] = None
+        self._sequential_outputs: Optional[List[str]] = None
         # True while the context's (self-created) engine has not settled
         # anything yet: a settle on a virgin engine is already canonical.
         # Externally provided engines may carry prior state, so they are
@@ -124,18 +134,53 @@ class DesignWorkContext:
             )
         return self._engine
 
+    @property
+    def unroller(self) -> SequentialUnroller:
+        """The context's persistent design-vs-golden unroller (sequential mode)."""
+        if self._unroller is None:
+            if self._unit.golden is None:
+                raise ConfigError(
+                    f"sequential mode needs a golden model for design "
+                    f"{self._unit.name!r} (none was provided)"
+                )
+            self._unroller = SequentialUnroller(
+                self._module,
+                self._unit.golden,
+                reset_values=self._config.reset_values,
+                solver_backend=self._config.solver_backend,
+            )
+        return self._unroller
+
+    @property
+    def sequential_outputs(self) -> List[str]:
+        """Output checked by sequential class ``k`` at position ``k``."""
+        if self._sequential_outputs is None:
+            if self._unit.golden is None:
+                raise ConfigError(
+                    f"sequential mode needs a golden model for design "
+                    f"{self._unit.name!r} (none was provided)"
+                )
+            self._sequential_outputs = sequential_output_classes(
+                self._module, self._unit.golden
+            )
+        return self._sequential_outputs
+
     def stats_snapshot(self) -> Dict[str, int]:
         snapshot = dict(_EMPTY_STATS)
         snapshot["solver_calls"] = self._extra_stats["solver_calls"]
         snapshot["conflicts"] = self._extra_stats["conflicts"]
-        if self._engine is not None:
-            stats = self._engine.stats()
+        for holder in (self._engine, self._unroller):
+            if holder is None:
+                continue
+            stats = holder.stats()
             snapshot["solver_calls"] += stats["solver_calls"]
             snapshot["conflicts"] += stats["conflicts"]
-            snapshot["cnf_clauses"] = stats["cnf_clauses"]
+            snapshot["cnf_clauses"] += stats["cnf_clauses"]
         return snapshot
 
     def backend_name(self) -> str:
+        if self._unroller is not None:
+            return self._unroller.solver_context.backend_name
         if self._engine is None:
             return resolved_backend_name(self._config)
         return self._engine.solver_context.backend_name
@@ -182,7 +227,67 @@ class DesignWorkContext:
         return result
 
     def _settle_once(self, k: int) -> ClassResult:
-        """One settle pass against this context's own engine.
+        """One settle pass against this context's own solver state."""
+        self._virgin = False
+        if self._config.mode == "sequential":
+            return self._settle_sequential_once(k)
+        return self._settle_combinational_once(k)
+
+    def _settle_sequential_once(self, k: int) -> ClassResult:
+        """Settle sequential class ``k``: bounded design-vs-golden divergence
+        of the ``k``-th common output (see :mod:`repro.core.unroll`).
+
+        There is no spurious-counterexample loop here: a bounded divergence
+        from the golden model is a divergence, full stop — the waiver
+        machinery of the combinational mode exists only because *that* mode
+        compares a design against itself over unconstrained starting states.
+        """
+        output = self.sequential_outputs[k]
+        depth = self._config.depth
+        check = self.unroller.check_output(output, depth)
+        result = PropertyCheckResult(
+            prop=IntervalProperty(
+                name=f"sequential_equivalence[{output}]",
+                description=(
+                    f"design output {output!r} equals the golden model's for "
+                    f"{depth} cycles from reset"
+                ),
+            ),
+            holds=check.holds,
+            cex=check.cex,
+            structurally_proven=check.structurally_proven,
+            runtime_seconds=check.runtime_seconds,
+            sat_conflicts=check.sat_conflicts,
+            sat_decisions=check.sat_decisions,
+            cnf_new_clauses=check.cnf_new_clauses,
+            cnf_reused_clauses=check.cnf_reused_clauses,
+            solver_calls=check.solver_calls,
+        )
+        outcome = PropertyOutcome(
+            kind="sequential",
+            index=k,
+            result=result,
+            depth_reached=depth,
+            first_divergence_cycle=check.first_divergence_cycle,
+        )
+        if check.structurally_proven:
+            terminal = "structural"
+        elif check.holds:
+            terminal = "proven"
+        else:
+            terminal = "cex"
+        return ClassResult(
+            design=self._unit.name,
+            index=k,
+            kind="sequential",
+            property_name=result.prop.name,
+            commitments=depth,
+            terminal=terminal,
+            outcome=outcome,
+        )
+
+    def _settle_combinational_once(self, k: int) -> ClassResult:
+        """One combinational settle pass against this context's own engine.
 
         Structural discharge first; remaining obligations go to the shared
         incremental solver context.  Counterexamples whose every cause is
@@ -191,7 +296,6 @@ class DesignWorkContext:
         recorded so event replay reproduces the full ``CexFound``/``CexWaived``
         history.
         """
-        self._virgin = False
         kind = "init" if k == 0 else "fanout"
         prop = self.build_property(k)
         base = dict(

@@ -1,7 +1,13 @@
 """Cycle-accurate two-valued RTL simulation and waveform export."""
 
 from repro.sim.simulator import Simulator
-from repro.sim.trace import Trace
+from repro.sim.trace import Trace, trace_from_counterexample
 from repro.sim.vcd import trace_to_vcd_string, write_vcd
 
-__all__ = ["Simulator", "Trace", "write_vcd", "trace_to_vcd_string"]
+__all__ = [
+    "Simulator",
+    "Trace",
+    "trace_from_counterexample",
+    "write_vcd",
+    "trace_to_vcd_string",
+]

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.ipc.cex import CounterExample
 
 
 @dataclass
@@ -37,3 +40,28 @@ class Trace:
         for snapshot in self.snapshots:
             restricted.record({name: value for name, value in snapshot.items() if name in names})
         return restricted
+
+
+def trace_from_counterexample(cex: "CounterExample", instance: int = 0) -> Trace:
+    """Render one instance's valuation of a counterexample as a trace.
+
+    Counterexample values are keyed ``(instance, time, signal)``; sequential
+    divergence witnesses use the clock cycle as the time axis (instance 0 is
+    the design, instance 1 the golden model), so the returned trace is a
+    complete per-cycle waveform directly consumable by the VCD writer.
+    Combinational counterexamples work too — their window is simply the
+    property's one-cycle interval.  Signals the check never materialised at
+    a cycle are absent from that snapshot (the VCD writer holds the previous
+    value, matching waveform-viewer semantics).
+    """
+    times = sorted({time for (inst, time, _signal) in cex.values if inst == instance})
+    trace = Trace()
+    if not times:
+        return trace
+    by_time: Dict[int, Dict[str, int]] = {time: {} for time in range(max(times) + 1)}
+    for (inst, time, signal), value in cex.values.items():
+        if inst == instance:
+            by_time[time][signal] = value
+    for time in range(max(times) + 1):
+        trace.record(by_time[time])
+    return trace

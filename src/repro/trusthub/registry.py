@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import DesignError
 from repro.rtl.elaborate import elaborate_source
 from repro.rtl.ir import Module
-from repro.trusthub import aes_trojans, rsa_trojans, uart_trojans
+from repro.trusthub import aes_trojans, rsa_trojans, seq_trojans, uart_trojans
 from repro.trusthub.aes_core import aes_core_verilog
 from repro.trusthub.rsa_core import RSA_RECOMMENDED_WAIVERS, rsa_core_verilog
 from repro.trusthub.uart_core import UART_RECOMMENDED_WAIVERS, uart_core_verilog
@@ -28,7 +28,7 @@ class TrustHubDesign:
     """Metadata and source of one benchmark design."""
 
     name: str
-    family: str  # "AES", "BasicRSA", "RS232"
+    family: str  # "AES", "BasicRSA", "RS232", "SEQ"
     top: str
     source: str = field(repr=False, default="")
     payload: str = ""
@@ -38,10 +38,21 @@ class TrustHubDesign:
     data_inputs: Tuple[str, ...] = ()
     recommended_waivers: Tuple[str, ...] = ()
     description: str = ""
+    #: Top module of the benchmark's golden (Trojan-free) model inside the
+    #: same source — the reference the sequential detection mode unrolls
+    #: against.  Every Trojan wrapper embeds the clean core it wraps, and a
+    #: clean design is its own golden model.
+    golden_top: Optional[str] = None
 
     def elaborate(self) -> Module:
         """Elaborate the design's top module into the flat RTL IR."""
         return elaborate_source(self.source, self.top)
+
+    def elaborate_golden(self) -> Module:
+        """Elaborate the benchmark's golden model (raises if none is catalogued)."""
+        if not self.golden_top:
+            raise DesignError(f"benchmark {self.name!r} has no catalogued golden model")
+        return elaborate_source(self.source, self.golden_top)
 
 
 _MODULE_CACHE: Dict[str, Module] = {}
@@ -61,6 +72,7 @@ def _aes_designs() -> List[TrustHubDesign]:
             has_trojan=False,
             data_inputs=("state", "key"),
             description="Trojan-free pipelined AES-128 core",
+            golden_top="aes128",
         )
     ]
     for spec in aes_trojans.AES_TROJAN_SPECS.values():
@@ -76,6 +88,7 @@ def _aes_designs() -> List[TrustHubDesign]:
                 has_trojan=True,
                 data_inputs=("state", "key"),
                 description=spec.description,
+                golden_top="aes128",
             )
         )
     return designs
@@ -96,6 +109,7 @@ def _rsa_designs() -> List[TrustHubDesign]:
             data_inputs=rsa_inputs,
             recommended_waivers=tuple(RSA_RECOMMENDED_WAIVERS),
             description="Trojan-free pipelined BasicRSA core (HTs manually removed, cf. Sec. VI)",
+            golden_top="basicrsa",
         )
     ]
     for spec in rsa_trojans.RSA_TROJAN_SPECS.values():
@@ -112,6 +126,7 @@ def _rsa_designs() -> List[TrustHubDesign]:
                 data_inputs=rsa_inputs,
                 recommended_waivers=tuple(f"u_core.{name}" for name in RSA_RECOMMENDED_WAIVERS),
                 description=spec.description,
+                golden_top="basicrsa",
             )
         )
     return designs
@@ -132,6 +147,7 @@ def _uart_designs() -> List[TrustHubDesign]:
             data_inputs=uart_inputs,
             recommended_waivers=tuple(UART_RECOMMENDED_WAIVERS),
             description="Trojan-free RS232 transceiver",
+            golden_top="rs232",
         )
     ]
     for spec in uart_trojans.UART_TROJAN_SPECS.values():
@@ -148,6 +164,46 @@ def _uart_designs() -> List[TrustHubDesign]:
                 data_inputs=uart_inputs,
                 recommended_waivers=tuple(f"u_core.{name}" for name in UART_RECOMMENDED_WAIVERS),
                 description=spec.description,
+                golden_top="rs232",
+            )
+        )
+    return designs
+
+
+def _seq_designs() -> List[TrustHubDesign]:
+    """The sequential benchmarks: trojans the combinational flow misses.
+
+    They live in their own ``SEQ`` family because their detection story is
+    different by construction — the recommended waivers (deliberately)
+    disqualify the trigger state, so the combinational flow proves them
+    SECURE and only ``--mode sequential`` at a depth >= the trigger
+    threshold exposes the divergence from the golden model.
+    """
+    inputs = {
+        "RS232": ("tx_data", "tx_send", "rxd"),
+        "AES": ("state", "key"),
+    }
+    core_waivers = {
+        "RS232": tuple(f"u_core.{name}" for name in UART_RECOMMENDED_WAIVERS),
+        "AES": (),
+    }
+    designs = []
+    for spec in seq_trojans.SEQ_TROJAN_SPECS.values():
+        designs.append(
+            TrustHubDesign(
+                name=spec.name,
+                family="SEQ",
+                top=seq_trojans.top_module_name(spec),
+                source=seq_trojans.benchmark_verilog(spec),
+                payload=spec.payload_label,
+                trigger=spec.trigger_label,
+                expected_detection=f"sequential mode (depth >= {spec.threshold})",
+                has_trojan=True,
+                data_inputs=inputs[spec.family_core],
+                recommended_waivers=core_waivers[spec.family_core]
+                + spec.trojan_registers,
+                description=spec.description,
+                golden_top=seq_trojans.golden_top_name(spec),
             )
         )
     return designs
@@ -157,13 +213,13 @@ def catalog() -> Dict[str, TrustHubDesign]:
     """All benchmark designs keyed by their Trust-Hub-style name."""
     global _CATALOG_CACHE
     if _CATALOG_CACHE is None:
-        designs = _aes_designs() + _rsa_designs() + _uart_designs()
+        designs = _aes_designs() + _rsa_designs() + _uart_designs() + _seq_designs()
         _CATALOG_CACHE = {design.name: design for design in designs}
     return dict(_CATALOG_CACHE)
 
 
 def families() -> List[str]:
-    """The benchmark families in the catalogue (``AES``, ``BasicRSA``, ``RS232``)."""
+    """The benchmark families in the catalogue (``AES``, ``BasicRSA``, ``RS232``, ``SEQ``)."""
     return sorted({design.family for design in catalog().values()})
 
 

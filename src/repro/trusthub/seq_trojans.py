@@ -1,0 +1,215 @@
+"""Sequential trojan benchmarks: trojans the combinational flow *misses*.
+
+The paper's combinational 2-safety flow compares a design against itself
+over a symbolic starting state, so any output dependence on prior state
+shows up — *unless a verification engineer waives that dependence as
+legitimate*.  Waivers are trust decisions, and these benchmarks model the
+false-negative that a wrong one creates: each trojan's trigger state is a
+small input-driven counter that masquerades as a plausible piece of control
+logic (a line-break detector on the UART, an operation counter on AES), and
+the benchmark's recommended waivers include it — exactly what an engineer
+who bought the masquerade would do.  With the trigger waived, every
+combinational property proves (the corrupted output is corrupted
+*identically* in both instances), the trigger register itself is covered by
+the fanout partition (it observes a primary input), and the verdict is
+SECURE.
+
+The sequential mode (``--mode sequential``) closes the gap from the other
+side: against a golden model and a concrete reset state, waivers play no
+role, and the SAT solver finds the input sequence that drives the counter
+to its threshold — each benchmark diverges at exactly its trigger depth, so
+a ``--depth`` at or beyond the threshold detects it and a smaller bound
+provably cannot.
+
+Triggers saturate at their threshold (the payload stays active), keeping
+the divergence persistent once reached — the classic time-bomb shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.trusthub.aes_core import aes_library_verilog, aes_top_verilog
+from repro.trusthub.uart_core import uart_library_verilog, uart_top_verilog
+
+
+@dataclass(frozen=True)
+class SeqTrojanSpec:
+    """One sequential (counter time-bomb / cycle-gated) benchmark."""
+
+    name: str
+    family_core: str  # "RS232" or "AES" — which clean core it wraps
+    payload_label: str
+    trigger_label: str
+    threshold: int  # trigger depth in cycles == the minimal detecting bound
+    trojan_registers: Tuple[str, ...]  # state the (wrong) waivers disqualify
+    description: str = ""
+
+
+def top_module_name(spec: SeqTrojanSpec) -> str:
+    return spec.name.lower().replace("-", "_")
+
+
+def _uart_timebomb_verilog(spec: SeqTrojanSpec, payload: str) -> str:
+    """UART wrapper: an rxd-driven counter arms after ``threshold`` cycles.
+
+    The counter increments while the line is held low — structurally
+    indistinguishable from a break-condition detector, which is the cover
+    story behind its recommended waiver.  Because it observes ``rxd``, the
+    fanout partition covers it (no coverage-check alarm), and because it is
+    waived, every combinational property proves.
+    """
+    module_name = top_module_name(spec)
+    width = max(4, spec.threshold.bit_length() + 1)
+    limit = f"{width}'d{spec.threshold}"
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input rst,",
+        "  input [7:0] tx_data,",
+        "  input tx_send,",
+        "  output txd,",
+        "  output tx_busy,",
+        "  input rxd,",
+        "  output [7:0] rx_data,",
+        "  output rx_valid",
+        ");",
+        "  wire core_txd;",
+        "  wire [7:0] core_rx_data;",
+        "  wire core_rx_valid;",
+        "  rs232 u_core (.clk(clk), .rst(rst), .tx_data(tx_data), .tx_send(tx_send),"
+        " .txd(core_txd), .tx_busy(tx_busy), .rxd(rxd), .rx_data(core_rx_data),"
+        " .rx_valid(core_rx_valid));",
+        "  // ---- hardware trojan: trigger (masquerades as break detection) ----",
+        f"  reg [{width - 1}:0] tj_count;",
+        "  always @(posedge clk) begin",
+        f"    if (!rxd && tj_count != {limit})",
+        f"      tj_count <= tj_count + {width}'d1;",
+        "  end",
+        f"  wire tj_trigger = (tj_count == {limit});",
+        "  // ---- hardware trojan: payload ----",
+    ]
+    lines.extend(payload.splitlines())
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def _aes_gated_leaker_verilog(spec: SeqTrojanSpec) -> str:
+    """AES wrapper: key bits leak onto the ciphertext once the operation
+    counter saturates.
+
+    The counter increments whenever a new plaintext block is presented
+    (``state`` changes), mimicking a legitimate throughput/operation
+    counter; gating the leak behind it keeps the payload dormant for every
+    bounded campaign shorter than the threshold.
+    """
+    module_name = top_module_name(spec)
+    width = max(3, spec.threshold.bit_length() + 1)
+    limit = f"{width}'d{spec.threshold}"
+    lines = [
+        f"module {module_name}(",
+        "  input clk,",
+        "  input  [127:0] state,",
+        "  input  [127:0] key,",
+        "  output [127:0] out",
+        ");",
+        "  wire [127:0] core_out;",
+        "  aes128 u_core (.clk(clk), .state(state), .key(key), .out(core_out));",
+        "  // ---- hardware trojan: trigger (masquerades as an op counter) ----",
+        "  reg [127:0] tj_prev_state;",
+        f"  reg [{width - 1}:0] tj_op_count;",
+        "  always @(posedge clk) begin",
+        "    tj_prev_state <= state;",
+        f"    if (state != tj_prev_state && tj_op_count != {limit})",
+        f"      tj_op_count <= tj_op_count + {width}'d1;",
+        "  end",
+        f"  wire tj_trigger = (tj_op_count == {limit});",
+        "  // ---- hardware trojan: payload (key byte onto the ciphertext) ----",
+        "  assign out = tj_trigger ? (core_out ^ {120'h0, key[7:0]}) : core_out;",
+        "endmodule",
+    ]
+    return "\n".join(lines)
+
+
+def trojan_top_verilog(spec: SeqTrojanSpec) -> str:
+    """Verilog of one sequential benchmark's Trojan wrapper."""
+    if spec.family_core == "AES":
+        return _aes_gated_leaker_verilog(spec)
+    if spec.name.endswith("T3100"):
+        # Transmit-side bomb: once armed, the serial line is forced idle —
+        # frames silently never leave the chip.
+        payload = (
+            "  assign txd = tj_trigger ? 1'b1 : core_txd;\n"
+            "  assign rx_data = core_rx_data;\n"
+            "  assign rx_valid = core_rx_valid;"
+        )
+    else:
+        # Receive-side bomb: bit 5 of every received byte flips once armed.
+        payload = (
+            "  assign txd = core_txd;\n"
+            "  assign rx_data = tj_trigger ? (core_rx_data ^ 8'h20) : core_rx_data;\n"
+            "  assign rx_valid = core_rx_valid;"
+        )
+    return _uart_timebomb_verilog(spec, payload)
+
+
+def benchmark_verilog(spec: SeqTrojanSpec) -> str:
+    """Complete source: clean core library + clean top + Trojan wrapper."""
+    if spec.family_core == "AES":
+        parts = [aes_library_verilog(), aes_top_verilog("aes128")]
+    else:
+        parts = [uart_library_verilog(), uart_top_verilog("rs232")]
+    return "\n\n".join(parts + [trojan_top_verilog(spec)])
+
+
+def golden_top_name(spec: SeqTrojanSpec) -> str:
+    """Top module of the benchmark's golden model (inside the same source)."""
+    return "aes128" if spec.family_core == "AES" else "rs232"
+
+
+SEQ_TROJAN_SPECS: Dict[str, SeqTrojanSpec] = {
+    spec.name: spec
+    for spec in [
+        SeqTrojanSpec(
+            name="RS232-SEQ-T3000",
+            family_core="RS232",
+            payload_label="bit flip",
+            trigger_label="rxd-low counter (waived)",
+            threshold=6,
+            trojan_registers=("tj_count",),
+            description=(
+                "counter time-bomb: an rxd-driven counter posing as a "
+                "break-condition detector arms after 6 low cycles and flips "
+                "bit 5 of every received byte; invisible to the "
+                "combinational flow once the counter is waived"
+            ),
+        ),
+        SeqTrojanSpec(
+            name="RS232-SEQ-T3100",
+            family_core="RS232",
+            payload_label="DoS",
+            trigger_label="rxd-low counter (waived)",
+            threshold=9,
+            trojan_registers=("tj_count",),
+            description=(
+                "transmit-side time-bomb: the same masqueraded counter arms "
+                "after 9 low cycles and forces txd idle, silently dropping "
+                "all outgoing frames"
+            ),
+        ),
+        SeqTrojanSpec(
+            name="AES-SEQ-T3000",
+            family_core="AES",
+            payload_label="key leak",
+            trigger_label="operation counter (waived)",
+            threshold=2,
+            trojan_registers=("tj_prev_state", "tj_op_count"),
+            description=(
+                "cycle-gated leaker: an operation counter posing as a "
+                "throughput monitor arms after 2 plaintext changes and XORs "
+                "a key byte onto the ciphertext"
+            ),
+        ),
+    ]
+}

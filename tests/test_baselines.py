@@ -142,6 +142,20 @@ class TestBoundedModelChecking:
         assert deeper.trojan_detected
         assert deeper.cnf_reused_clauses >= shallow.cnf_new_clauses
 
+    def test_degenerate_checks_stay_vacuous(self, short_trigger_module, golden_module):
+        # The classic wrapper contract: bound 0 (no cycles compared) and a
+        # golden model with no common outputs both report "no divergence",
+        # they do not raise like the sequential detection mode does.
+        checker = BoundedTrojanChecker(short_trigger_module, golden_module)
+        assert not checker.check(bound=0).trojan_detected
+        disjoint = elaborate_source(
+            "module g(input clk, input [7:0] din, output [7:0] other);"
+            " assign other = din; endmodule",
+            "g",
+        )
+        no_common = BoundedTrojanChecker(short_trigger_module, disjoint)
+        assert not no_common.check(bound=5).trojan_detected
+
     def test_golden_inputs_must_exist_in_design(self, golden_module):
         other = elaborate_source(
             "module acc(input clk, input [7:0] other_name, output [7:0] dout);"

@@ -100,6 +100,82 @@ class TestFingerprints:
         keys = {class_cache_key("m", "c", index) for index in range(8)}
         assert len(keys) == 8
 
+    # Every (field, mutation) pair that can change a property's outcome.
+    # The base config each mutation is compared against must already enable
+    # the field (depth/reset_values are sequential-only), hence the
+    # per-entry base kwargs.  If a future DetectionConfig field lands
+    # without a row here *and* without a fingerprint feed, the completeness
+    # check below fails — the cache can never be silently poisoned again.
+    _SEMANTIC_MUTATIONS = [
+        (dict(), dict(inputs=["a"])),
+        (dict(), dict(cumulative_assumptions=False)),
+        (dict(), dict(assume_inputs_at_prove_time=False)),
+        (dict(), dict(waivers=[Waiver("x")])),
+        (dict(), dict(mode="sequential")),
+        (dict(mode="sequential"), dict(mode="sequential", depth=11)),
+        (
+            dict(mode="sequential"),
+            dict(mode="sequential", reset_values={"count": 1}),
+        ),
+    ]
+    _EXECUTION_ONLY_FIELDS = {
+        "stop_at_first_failure", "max_class", "jobs", "cache_dir", "use_cache",
+    }
+    # Hashed through config_fingerprint's resolved backend_name parameter
+    # (never the raw field, which may read "auto"); sensitivity is asserted
+    # by test_config_fingerprint_covers_semantic_fields above.
+    _HASHED_VIA_BACKEND_NAME = {"solver_backend"}
+
+    @pytest.mark.parametrize("base_kwargs, mutated_kwargs", _SEMANTIC_MUTATIONS)
+    def test_every_semantic_field_flips_the_fingerprint(self, base_kwargs, mutated_kwargs):
+        base = config_fingerprint(DetectionConfig(**base_kwargs), "python")
+        mutated = config_fingerprint(DetectionConfig(**mutated_kwargs), "python")
+        assert base != mutated, f"fingerprint blind to {mutated_kwargs}"
+
+    def test_semantic_mutation_table_covers_every_config_field(self):
+        # Regression guard: a newly added DetectionConfig field must either
+        # appear in the mutation table (it affects results and is hashed) or
+        # be explicitly listed as execution-only (it never affects results).
+        import dataclasses
+
+        all_fields = {field.name for field in dataclasses.fields(DetectionConfig)}
+        mutated = {name for _base, change in self._SEMANTIC_MUTATIONS for name in change}
+        unaccounted = (
+            all_fields - mutated - self._EXECUTION_ONLY_FIELDS - self._HASHED_VIA_BACKEND_NAME
+        )
+        assert not unaccounted, (
+            f"DetectionConfig field(s) {sorted(unaccounted)} are neither in the "
+            f"fingerprint-sensitivity table nor declared execution-only; add "
+            f"them to one (and to config_fingerprint if they change results)"
+        )
+
+    def test_sequential_fingerprint_ignores_combinational_only_knobs(self):
+        # Waivers, traced inputs and the property-shape switches play no
+        # role in the golden-model check; hashing them would make a warm
+        # sequential cache go cold on e.g. --no-recommended-waivers.
+        base = config_fingerprint(DetectionConfig(mode="sequential"), "python")
+        assert base == config_fingerprint(
+            DetectionConfig(mode="sequential", waivers=[Waiver("x")]), "python"
+        )
+        assert base == config_fingerprint(
+            DetectionConfig(mode="sequential", inputs=["a"]), "python"
+        )
+        assert base == config_fingerprint(
+            DetectionConfig(mode="sequential", cumulative_assumptions=False), "python"
+        )
+        # ... and symmetrically, sequential-only knobs never touch
+        # combinational keys (asserted for depth/reset in the table above).
+
+    def test_pair_fingerprint_covers_the_golden_model(self):
+        from repro.exec.fingerprint import pair_module_fingerprint
+
+        design = module_fingerprint(elaborate_source(CLEAN_SOURCE, "widget"))
+        golden = module_fingerprint(elaborate_source(MUTATED_SOURCE, "widget"))
+        paired = pair_module_fingerprint(design, golden)
+        assert paired != pair_module_fingerprint(design, design)
+        assert paired != pair_module_fingerprint(golden, design)  # order matters
+        assert paired != design and paired != golden
+
 
 class TestResultCacheStore:
     def test_round_trip_and_stats(self, tmp_path):

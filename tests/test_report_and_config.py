@@ -102,6 +102,38 @@ class TestConfigValidation:
             DetectionConfig(cache_dir="   ")
         assert DetectionConfig(cache_dir="/tmp/cache").cache_dir == "/tmp/cache"
 
+    @pytest.mark.parametrize("field", ["jobs", "max_class", "depth"])
+    @pytest.mark.parametrize("value", [True, False])
+    def test_bool_rejected_for_integer_fields(self, field, value):
+        # bool is a subclass of int: jobs=True used to slip through the
+        # isinstance(jobs, int) check and silently run with 1 worker.
+        with pytest.raises(ConfigError, match=field):
+            DetectionConfig(**{field: value})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError, match="unknown detection mode"):
+            DetectionConfig(mode="temporal")
+        assert DetectionConfig(mode="sequential").mode == "sequential"
+        assert DetectionConfig().mode == "combinational"
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigError, match="depth"):
+            DetectionConfig(depth=0)
+        with pytest.raises(ConfigError, match="depth"):
+            DetectionConfig(depth=-3)
+        assert DetectionConfig(depth=25).depth == 25
+
+    def test_reset_values_validated(self):
+        with pytest.raises(ConfigError, match="reset_values"):
+            DetectionConfig(reset_values=[("count", 1)])
+        with pytest.raises(ConfigError, match="register names"):
+            DetectionConfig(reset_values={"": 1})
+        with pytest.raises(ConfigError, match="reset value"):
+            DetectionConfig(reset_values={"count": "3"})
+        with pytest.raises(ConfigError, match="reset value"):
+            DetectionConfig(reset_values={"count": True})
+        assert DetectionConfig(reset_values={"count": 4}).reset_values == {"count": 4}
+
 
 class TestReportSerialization:
     def test_secure_report_json_round_trip(self, pipeline_module):

@@ -50,6 +50,46 @@ class TestVcdWriter:
         text = trace_to_vcd_string(trace, counter_module.signals, signals=["u_cnt.cnt"])
         assert "u_cnt_cnt" in text
 
+    def test_values_masked_to_declared_width(self):
+        # A value wider than the $var declaration (or negative) must be
+        # truncated to the declared width — `b101` on a 2-bit signal is a
+        # malformed VCD that waveform viewers reject.
+        trace = Trace()
+        trace.record({"narrow": 5, "flag": 2, "signed": -1})
+        text = trace_to_vcd_string(trace, {"narrow": 2, "flag": 1, "signed": 4})
+        lines = text.splitlines()
+        assert any(line.startswith("b01 ") for line in lines)       # 5 & 0b11
+        assert not any(line.startswith("b101") for line in lines)
+        assert any(line.startswith("b1111 ") for line in lines)     # -1 & 0xf
+        assert any(line[0] == "0" and not line.startswith("0 ") for line in lines)  # 2 & 1
+
+    def test_ieee1364_round_trip(self):
+        # Parse the dump back with a minimal IEEE 1364 reader: every change
+        # line must be `b<bits> <id>` (vector) or `<bit><id>` (scalar), with
+        # exactly as many bits as the $var declared, and the reconstructed
+        # final values must match the recorded trace.
+        trace = Trace()
+        trace.record({"bus": 0x1F5, "bit": 1})
+        trace.record({"bus": 2, "bit": 0})
+        widths = {"bus": 10, "bit": 1}
+        text = trace_to_vcd_string(trace, widths)
+        width_by_id, name_by_id = {}, {}
+        values = {}
+        for line in text.splitlines():
+            if line.startswith("$var"):
+                _var, _wire, width, identifier, name = line.split()[:5]
+                width_by_id[identifier] = int(width)
+                name_by_id[identifier] = name
+            elif line.startswith("b"):
+                bits, identifier = line.split()
+                assert len(bits) - 1 == width_by_id[identifier], line
+                values[name_by_id[identifier]] = int(bits[1:], 2)
+            elif line and line[0] in "01" and not line.startswith("#"):
+                identifier = line[1:]
+                assert width_by_id[identifier] == 1, line
+                values[name_by_id[identifier]] = int(line[0])
+        assert values == {"bus": 2, "bit": 0}
+
     def test_empty_trace_rejected(self, pipeline_module):
         with pytest.raises(ValueError):
             write_vcd(Trace(), pipeline_module.signals, io.StringIO())
