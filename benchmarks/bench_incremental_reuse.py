@@ -76,7 +76,12 @@ def test_full_multiclass_flow_reports_reuse_stats(benchmark):
     assert report.solver_backend
     assert report.solver_calls >= 1
     stats = report.solver_stats()
-    assert stats["clauses_encoded"] == stats["clauses_new"] >= 1
+    # The run's persistent context encodes the shared AES cone; the failing
+    # class's *outcome* telemetry comes from the canonical witness settle on
+    # a fresh context (which random simulation may satisfy without encoding
+    # anything), so the per-outcome sum is a lower bound, not an identity.
+    assert stats["clauses_encoded"] >= stats["clauses_new"]
+    assert stats["clauses_encoded"] >= 1
     print(f"\nflow solver stats: {stats} (backend {report.solver_backend})")
 
 

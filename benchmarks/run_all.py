@@ -1,0 +1,181 @@
+"""Unified benchmark runner: every harness in quick mode, one core artefact.
+
+Runs a quick configuration of each benchmarks/bench_*.py harness and writes
+a single top-level ``BENCH_core.json`` with one uniform record per
+benchmark::
+
+    { "<benchmark>": { "wall_s": float,
+                       "solver_conflicts": int,
+                       "solve_calls": int }, ... }
+
+This is the repository's performance trajectory anchor: CI uploads the file
+as an artefact on every run, so regressions in any subsystem (incremental
+solving, parallel execution, sequential unrolling, simulation-guided
+simplification) show up as a diff of one document instead of four.
+
+The artefact-script harnesses (parallel scaling, sequential depth,
+simplify) are invoked through their importable ``run_benchmark`` /
+``bench_benchmark`` entry points with reduced workloads; the
+pytest-benchmark suites are represented by their core scenario (a full
+detection flow on the design the suite pins down), because their statistical
+micro-measurements do not reduce to one number per benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --quick
+    PYTHONPATH=src python benchmarks/run_all.py --output BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.api import BatchSession, Design, DetectionConfig, DetectionSession
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load_harness(name: str):
+    """Import a sibling bench_*.py harness by file path."""
+    path = os.path.join(_HERE, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _flow_record(name: str, **overrides) -> Dict[str, object]:
+    """One full detection flow, reduced to the uniform record."""
+    design = Design.from_benchmark(name)
+    # The recommended-waiver config builder lives in the simplify harness;
+    # one definition of "what the CLI would build" for all runners.
+    config = _load_harness("bench_simplify")._design_config(design, **overrides)
+    started = time.perf_counter()
+    report = DetectionSession(design, config=config).run()
+    return {
+        "wall_s": time.perf_counter() - started,
+        "solver_conflicts": report.solver_conflicts,
+        "solve_calls": report.solver_calls,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Scenarios (name -> (quick thunk, full thunk))
+# --------------------------------------------------------------------- #
+
+
+def _incremental_reuse(quick: bool) -> Dict[str, object]:
+    # bench_incremental_reuse.py pins clause reuse of the *solving core* on
+    # the AES-T100 flow; preprocessing is off, matching that harness (with
+    # it on, random simulation falsifies the class before any CDCL call).
+    return _flow_record("AES-T100", simplify=False)
+
+
+def _proof_runtime(quick: bool) -> Dict[str, object]:
+    # bench_proof_runtime.py measures per-property proof cost on the clean
+    # AES core (every class proven, nothing short-circuits).
+    return _flow_record("AES-HT-FREE", simplify=False)
+
+
+def _parallel_scaling(quick: bool) -> Dict[str, object]:
+    benchmarks = ["RS232-HT-FREE", "RS232-T2400"]
+    if not quick:
+        benchmarks.append("BasicRSA-HT-FREE")
+    started = time.perf_counter()
+    batch = BatchSession(benchmarks, config=DetectionConfig(jobs=2))
+    report = batch.run()
+    stats = report.solver_stats()
+    return {
+        "wall_s": time.perf_counter() - started,
+        "solver_conflicts": stats["conflicts"],
+        "solve_calls": stats["solver_calls"],
+    }
+
+
+def _sequential_depth(quick: bool) -> Dict[str, object]:
+    harness = _load_harness("bench_sequential_depth")
+    depths = [2, 4] if quick else [2, 4, 6, 8]
+    started = time.perf_counter()
+    result = harness.bench_benchmark("RS232-SEQ-T3000", depths)
+    runs = result["incremental"] + result["fresh_solver"]
+    return {
+        "wall_s": time.perf_counter() - started,
+        "solver_conflicts": sum(int(run["sat_conflicts"]) for run in runs),
+        "solve_calls": sum(1 for run in runs if run["cnf_new_clauses"] or run["sat_conflicts"]),
+    }
+
+
+def _simplify(quick: bool) -> Dict[str, object]:
+    harness = _load_harness("bench_simplify")
+    benchmarks = (
+        ["RS232-T2400", "AES-T100"]
+        if quick
+        else list(harness.DEFAULT_BENCHMARKS)
+    )
+    started = time.perf_counter()
+    document = harness.run_benchmark(benchmarks)
+    totals = document["totals"]
+    return {
+        "wall_s": time.perf_counter() - started,
+        "solver_conflicts": int(totals["on"]["solver_conflicts"])
+        + int(totals["off"]["solver_conflicts"]),
+        "solve_calls": int(totals["on"]["solve_calls"])
+        + int(totals["off"]["solve_calls"]),
+    }
+
+
+SCENARIOS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
+    ("incremental_reuse", _incremental_reuse),
+    ("proof_runtime", _proof_runtime),
+    ("parallel_scaling", _parallel_scaling),
+    ("sequential_depth", _sequential_depth),
+    ("simplify", _simplify),
+]
+
+
+def run_all(quick: bool = True) -> Dict[str, Dict[str, object]]:
+    document: Dict[str, Dict[str, object]] = {}
+    for name, scenario in SCENARIOS:
+        record = scenario(quick)
+        document[name] = {
+            "wall_s": float(record["wall_s"]),
+            "solver_conflicts": int(record["solver_conflicts"]),
+            "solve_calls": int(record["solve_calls"]),
+        }
+        print(
+            f"{name:20s} {document[name]['wall_s']:7.2f} s  "
+            f"{document[name]['solver_conflicts']:6d} conflicts  "
+            f"{document[name]['solve_calls']:4d} solver calls"
+        )
+    return document
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced workloads for CI (smaller benchmark sets and depths)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_core.json", metavar="FILE",
+        help="where to write the unified JSON document (default: BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+
+    document = run_all(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,36 @@
-"""Bit-level reasoning engine: And-Inverter Graph, bit-blasting and CNF."""
+"""Bit-level reasoning engine: And-Inverter Graph, bit-blasting, CNF, and
+the simulation-guided preprocessing subsystem (simvec / simplify / fraig)."""
 
 from repro.aig.aig import AIG, TRUE, FALSE
 from repro.aig.bitblast import BitBlaster, Vector
 from repro.aig.cnf import CnfBuilder, Cnf
+from repro.aig.fraig import FraigContext, FraigStats
+from repro.aig.preprocess import PreprocessOutcome, Preprocessor
+from repro.aig.simplify import SimplifyResult, cone_size, simplify_cone
+from repro.aig.simvec import (
+    PatternSet,
+    find_satisfying_pattern,
+    first_satisfying_index,
+    minimize_assignment,
+)
 
-__all__ = ["AIG", "TRUE", "FALSE", "BitBlaster", "Vector", "CnfBuilder", "Cnf"]
+__all__ = [
+    "AIG",
+    "TRUE",
+    "FALSE",
+    "BitBlaster",
+    "Vector",
+    "CnfBuilder",
+    "Cnf",
+    "FraigContext",
+    "FraigStats",
+    "PatternSet",
+    "PreprocessOutcome",
+    "Preprocessor",
+    "SimplifyResult",
+    "cone_size",
+    "find_satisfying_pattern",
+    "first_satisfying_index",
+    "minimize_assignment",
+    "simplify_cone",
+]

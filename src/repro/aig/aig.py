@@ -119,7 +119,7 @@ class AIG:
 
     @property
     def num_and_nodes(self) -> int:
-        return sum(1 for node in self._nodes if node is not None) - 0
+        return sum(1 for node in self._nodes if node is not None)
 
     def is_input(self, node: int) -> bool:
         return node != 0 and self._nodes[node] is None
@@ -151,9 +151,10 @@ class AIG:
         """All nodes in the transitive fanin cone of the root literals, topologically sorted."""
         seen = set()
         order: List[int] = []
-        stack = [self.node_of(literal) for literal in roots]
         # Iterative DFS with explicit post-ordering.
-        visit_stack: List[Tuple[int, bool]] = [(node, False) for node in stack]
+        visit_stack: List[Tuple[int, bool]] = [
+            (self.node_of(literal), False) for literal in roots
+        ]
         while visit_stack:
             node, processed = visit_stack.pop()
             if processed:
@@ -188,4 +189,62 @@ class AIG:
             node = self.node_of(literal)
             value = values.get(node, 0)
             results.append(value ^ (literal & 1))
+        return results
+
+    def evaluate_word_values(
+        self,
+        roots: Iterable[int],
+        input_words: Dict[int, int],
+        mask: int,
+        cone: Optional[List[int]] = None,
+    ) -> Dict[int, int]:
+        """Bit-parallel evaluation: word of every node in the roots' cone.
+
+        The shared kernel of :meth:`evaluate_words` and the fraig sweep's
+        signature computation: ``input_words`` maps input *nodes* to machine
+        words holding one assignment bit per pattern (bit ``i`` of every
+        word belongs to pattern ``i``), ``mask`` is the all-ones word
+        ``(1 << patterns) - 1``, and the returned dict holds the
+        positive-literal word of every cone node.  Python ints carry
+        arbitrarily many patterns in one word, so a single cone traversal
+        evaluates the whole batch — complemented literals XOR against the
+        mask instead of flipping bits one by one.  Callers that already
+        hold the roots' topologically sorted cone pass it via ``cone`` to
+        skip the repeat traversal.
+        """
+        nodes = self._nodes
+        values: Dict[int, int] = {0: 0}
+        for node in cone if cone is not None else self.cone_nodes(roots):
+            children = nodes[node]
+            if children is None:
+                values[node] = input_words.get(node, 0) & mask
+            else:
+                left, right = children
+                left_word = values[left >> 1]
+                if left & 1:
+                    left_word ^= mask
+                right_word = values[right >> 1]
+                if right & 1:
+                    right_word ^= mask
+                values[node] = left_word & right_word
+        return values
+
+    def evaluate_words(
+        self,
+        roots: Iterable[int],
+        input_words: Dict[int, int],
+        mask: int,
+        cone: Optional[List[int]] = None,
+    ) -> List[int]:
+        """Bit-parallel evaluation of root literals over a batch of patterns.
+
+        One word per root literal, in root order; see
+        :meth:`evaluate_word_values` for the word semantics.
+        """
+        roots = list(roots)
+        values = self.evaluate_word_values(roots, input_words, mask, cone=cone)
+        results = []
+        for literal in roots:
+            word = values.get(literal >> 1, 0)
+            results.append(word ^ mask if literal & 1 else word)
         return results

@@ -1,0 +1,158 @@
+"""Rule-based AIG cone simplification: folding, compaction, 2-AND rewriting.
+
+The engine's AIG is append-only and shared by every check of a run, so
+"simplifying a cone" never mutates existing nodes: :func:`simplify_cone`
+*rebuilds* the cone of the given root literals bottom-up — substituting
+proven node merges (from the fraig sweep), re-applying structural hashing
+and constant folding through :meth:`AIG.and_`, and adding a small set of
+two-level AND rewriting rules the constructor does not try.  The rebuilt
+root literals span a fresh, usually smaller cone; the nodes of the old cone
+that nothing references any more are *dangling* and simply excluded from
+every later cone traversal, CNF encoding and simulation — that exclusion is
+the dangling-node sweep and cone-of-influence compaction in an append-only
+graph.
+
+The rewriting rules (with ``a``/``b`` the rebuilt fanins):
+
+==========================  =========================================
+``x & (x & y)``             ``x & y``          (containment)
+``!x & (x & y)``            ``0``              (contradiction)
+``x & !(x & y)``            ``x & !y``         (substitution)
+``!x & !(x & y)``           ``!x``             (subsumption)
+``(u & v) & (w & z)``       ``0`` when a fanin of one side is the
+                            complement of a fanin of the other
+==========================  =========================================
+
+All rules are local equivalences, so the rebuilt literal computes exactly
+the same function of the primary inputs — the property tests cross-check
+this with random bit-parallel simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.aig.aig import AIG, FALSE, negate
+
+
+def cone_size(aig: AIG, roots: Iterable[int]) -> int:
+    """Number of live nodes in the transitive fanin cone of ``roots``."""
+    return len(aig.cone_nodes(roots))
+
+
+@dataclass
+class SimplifyResult:
+    """Outcome of one cone simplification pass."""
+
+    roots: List[int]
+    nodes_before: int
+    nodes_after: int
+    merged_substitutions: int = 0
+
+
+def rewrite_and(aig: AIG, a: int, b: int) -> int:
+    """``a AND b`` with the two-level rules on top of the constructor rules."""
+    for x, y in ((a, b), (b, a)):
+        node = x >> 1
+        if node == 0 or not aig.is_and(node):
+            continue
+        u, v = aig.fanins(node)
+        if x & 1 == 0:
+            if y == u or y == v:
+                return x  # x & (x & y) == x & y
+            if y == negate(u) or y == negate(v):
+                return FALSE  # !x & (x & y) == 0
+        else:
+            if y == u:
+                return aig.and_(u, negate(v))  # u & !(u & v) == u & !v
+            if y == v:
+                return aig.and_(v, negate(u))
+            if y == negate(u) or y == negate(v):
+                return y  # !u & !(u & v) == !u
+    if a & 1 == 0 and b & 1 == 0:
+        left_node, right_node = a >> 1, b >> 1
+        if left_node and right_node and aig.is_and(left_node) and aig.is_and(right_node):
+            u, v = aig.fanins(left_node)
+            w, z = aig.fanins(right_node)
+            if negate(u) in (w, z) or negate(v) in (w, z):
+                return FALSE  # (u & v) & (w & z) with complementary fanins
+    return aig.and_(a, b)
+
+
+def resolve_merge(merges: Dict[int, int], literal: int) -> int:
+    """Follow a node-merge chain (with polarity) to its representative.
+
+    ``merges`` maps a node to the literal that provably computes the same
+    function; representatives always have smaller node indices (the fraig
+    sweep merges toward the earliest-created node), so chains terminate.
+    """
+    sign = literal & 1
+    node = literal >> 1
+    while node in merges:
+        target = merges[node]
+        sign ^= target & 1
+        node = target >> 1
+    return (node << 1) | sign
+
+
+def simplify_cone(
+    aig: AIG,
+    roots: List[int],
+    merges: Optional[Dict[int, int]] = None,
+    nodes_before: Optional[int] = None,
+) -> SimplifyResult:
+    """Rebuild the cone of ``roots`` with merges, folding and rewriting.
+
+    Returns new root literals (over the same AIG) plus before/after cone
+    sizes.  The traversal follows *merge-resolved* fanins, so the cone of a
+    node that was merged away is never rebuilt — its representative's cone
+    is entered instead (cone-of-influence compaction).  ``nodes_before``
+    skips the size traversal when the caller already measured the cone.
+    """
+    merges = merges or {}
+    if nodes_before is None:
+        nodes_before = cone_size(aig, roots)
+    resolved_roots = [resolve_merge(merges, literal) for literal in roots]
+
+    # Iterative post-order over the merge-resolved structure.
+    order: List[int] = []
+    seen: set = set()
+    visit: List[Tuple[int, bool]] = [(literal >> 1, False) for literal in resolved_roots]
+    while visit:
+        node, processed = visit.pop()
+        if processed:
+            order.append(node)
+            continue
+        if node in seen or node == 0:
+            continue
+        seen.add(node)
+        visit.append((node, True))
+        if aig.is_and(node):
+            left, right = aig.fanins(node)
+            visit.append((resolve_merge(merges, left) >> 1, False))
+            visit.append((resolve_merge(merges, right) >> 1, False))
+
+    substitutions = 0
+    rebuilt: Dict[int, int] = {0: FALSE}  # node -> rebuilt positive literal
+    for node in order:
+        if not aig.is_and(node):
+            rebuilt[node] = node << 1
+            continue
+        left, right = aig.fanins(node)
+        resolved_left = resolve_merge(merges, left)
+        resolved_right = resolve_merge(merges, right)
+        substitutions += (resolved_left != left) + (resolved_right != right)
+        left_lit = rebuilt[resolved_left >> 1] ^ (resolved_left & 1)
+        right_lit = rebuilt[resolved_right >> 1] ^ (resolved_right & 1)
+        rebuilt[node] = rewrite_and(aig, left_lit, right_lit)
+
+    new_roots = []
+    for literal in resolved_roots:
+        new_roots.append(rebuilt.get(literal >> 1, literal & ~1) ^ (literal & 1))
+    return SimplifyResult(
+        roots=new_roots,
+        nodes_before=nodes_before,
+        nodes_after=cone_size(aig, new_roots),
+        merged_substitutions=substitutions,
+    )

@@ -35,6 +35,8 @@ from repro.api.events import (
     CexWaived,
     ClassEvent,
     ClassProven,
+    ClassSimFalsified,
+    ConeSimplified,
     EventBus,
     PropertyScheduled,
     RunEvent,
@@ -65,6 +67,8 @@ __all__ = [
     "ClassEvent",
     "RunStarted",
     "PropertyScheduled",
+    "ConeSimplified",
+    "ClassSimFalsified",
     "StructurallyDischarged",
     "ClassProven",
     "CexFound",

@@ -12,6 +12,8 @@ from repro.core.events import (
     CexWaived,
     ClassEvent,
     ClassProven,
+    ClassSimFalsified,
+    ConeSimplified,
     EventBus,
     PropertyScheduled,
     RunEvent,
@@ -26,6 +28,8 @@ __all__ = [
     "ClassEvent",
     "RunStarted",
     "PropertyScheduled",
+    "ConeSimplified",
+    "ClassSimFalsified",
     "StructurallyDischarged",
     "ClassProven",
     "CexFound",

@@ -11,7 +11,9 @@ A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
     repro-ht-detect cache stats --cache-dir ~/.repro-cache
 
 ``run`` audits one design (``--json`` emits the schema-versioned report,
-``--verbose`` streams per-property events as they settle; ``--mode
+``--verbose`` streams per-property events as they settle;
+``--no-simplify`` / ``--sim-patterns`` / ``--fraig-rounds`` control the
+simulation-guided miter preprocessing, which is on by default; ``--mode
 sequential`` switches to bounded design-vs-golden equivalence with
 ``--depth``/``--reset-value``/``--golden-top`` and ``--vcd`` waveform
 export of the multi-cycle counterexample), ``batch`` audits
@@ -42,6 +44,8 @@ from repro.api import (
     CexFound,
     CexWaived,
     ClassProven,
+    ClassSimFalsified,
+    ConeSimplified,
     Design,
     DetectionConfig,
     DetectionReport,
@@ -58,6 +62,11 @@ from repro.errors import ReproError
 from repro.sat import available_backends, default_backend_name
 
 _SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report", "cache")
+
+#: Flag defaults are read off a default config, so tuning a library default
+#: can never silently diverge from what the CLI passes (the batch template
+#: comparison in _batch_template_from_args relies on this too).
+_CONFIG_DEFAULTS = DetectionConfig()
 
 
 # ---------------------------------------------------------------------- #
@@ -143,6 +152,31 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         default=[],
         metavar="REG=VALUE",
         help="sequential mode: override one register's reset value (repeatable)",
+    )
+    parser.add_argument(
+        "--no-simplify",
+        action="store_true",
+        help="disable miter preprocessing (sim-first falsification and "
+             "fraig-style SAT sweeping); every obligation goes straight to "
+             "Tseitin + CDCL",
+    )
+    defaults = _CONFIG_DEFAULTS
+    parser.add_argument(
+        "--sim-patterns",
+        type=int,
+        default=defaults.sim_patterns,
+        metavar="N",
+        help=f"random patterns per bit-parallel simulation batch "
+             f"(default: {defaults.sim_patterns})",
+    )
+    parser.add_argument(
+        "--fraig-rounds",
+        type=int,
+        default=defaults.fraig_rounds,
+        metavar="N",
+        help=f"counterexample-guided refinement rounds of the fraig sweep "
+             f"(default: {defaults.fraig_rounds}; 0 keeps sim-first "
+             f"falsification but disables SAT sweeping)",
     )
 
 
@@ -301,6 +335,9 @@ def _shared_config_kwargs(args: argparse.Namespace) -> dict:
         mode=args.mode,
         depth=args.depth,
         reset_values=_parse_reset_values(args.reset_value),
+        simplify=not args.no_simplify,
+        sim_patterns=args.sim_patterns,
+        fraig_rounds=args.fraig_rounds,
     )
 
 
@@ -351,6 +388,13 @@ def _print_event(event: RunEvent, file=None) -> None:
         print(f"  {event.label:24s} holds  ({result.runtime_seconds:.2f} s, "
               f"{result.cnf_new_clauses} new / {result.cnf_reused_clauses} reused clauses)",
               file=out)
+    elif isinstance(event, ConeSimplified):
+        print(f"  {event.label:24s} swept  ({event.nodes_before} -> "
+              f"{event.nodes_after} cone nodes, {event.merged_nodes} merged)",
+              file=out)
+    elif isinstance(event, ClassSimFalsified):
+        print(f"  {event.label:24s} falsified by random simulation "
+              f"(zero CDCL calls)", file=out)
     elif isinstance(event, CexFound):
         status = "spurious, auto-resolving" if event.auto_resolvable else "Trojan suspected"
         print(f"  {event.label:24s} FAILS  (counterexample: {status})", file=out)

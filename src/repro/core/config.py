@@ -145,6 +145,24 @@ class DetectionConfig:
         (register name -> value); registers without an override start at
         their declared reset value, or 0.  Ignored by the combinational
         mode.
+    simplify:
+        When true (default), every property miter is preprocessed before
+        the SAT solver sees it (:mod:`repro.aig` simvec/simplify/fraig):
+        bit-parallel random simulation falsifies tampered cones outright
+        (a counterexample with zero CDCL calls), and fraig-style SAT
+        sweeping merges simulation-equivalent nodes so the remaining
+        obligations encode smaller CNF.  ``False`` (the CLI's
+        ``--no-simplify``) sends every miter straight to Tseitin + CDCL.
+        Verdicts, counterexamples and coverage are identical either way —
+        only the performance telemetry differs.
+    sim_patterns:
+        Patterns per random-simulation batch (>= 1; default 64, one
+        machine word).  More patterns falsify/refine more cones per batch
+        at proportional simulation cost.
+    fraig_rounds:
+        Counterexample-guided refinement rounds of the fraig sweep per
+        preprocessed cone (>= 0; 0 disables SAT sweeping but keeps
+        sim-first falsification).
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -160,6 +178,9 @@ class DetectionConfig:
     mode: str = "combinational"
     depth: int = 10
     reset_values: Optional[Dict[str, int]] = None
+    simplify: bool = True
+    sim_patterns: int = 64
+    fraig_rounds: int = 1
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -181,6 +202,10 @@ class DetectionConfig:
                 f"available: {', '.join(DETECTION_MODES)}"
             )
         _require_int(self.depth, "depth", 1)
+        if not isinstance(self.simplify, bool):
+            raise ConfigError(f"simplify must be a bool, got {self.simplify!r}")
+        _require_int(self.sim_patterns, "sim_patterns", 1)
+        _require_int(self.fraig_rounds, "fraig_rounds", 0)
         if self.reset_values is not None:
             if not isinstance(self.reset_values, dict):
                 raise ConfigError(

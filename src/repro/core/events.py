@@ -8,8 +8,10 @@ the same typed events.  The lifecycle of one run is::
 
     RunStarted
       PropertyScheduled(k)            for every class k, in class order
+        ConeSimplified(k)               preprocessing shrank the miter cone
         StructurallyDischarged(k)       settled on the AIG, no SAT involved
         -- or, during the SAT phase, still in class order --
+        ClassSimFalsified(k)            random simulation flipped the miter
         CexFound(k)                     a counterexample was found
         CexWaived(k)                    ... and resolved as spurious (Sec. V-B)
         ClassProven(k)                  the class holds after SAT search
@@ -129,6 +131,41 @@ class ClassProven(ClassEvent):
     @property
     def label(self) -> str:
         return self.outcome.label
+
+
+@dataclass(frozen=True)
+class ConeSimplified(ClassEvent):
+    """The class's miter cone was shrunk by preprocessing before the solver.
+
+    Emitted between ``PropertyScheduled`` and the class's terminal event
+    when the fraig sweep merged nodes or the rewrite pass compacted the
+    cone (:mod:`repro.aig.simplify` / :mod:`repro.aig.fraig`).
+    """
+
+    nodes_before: int
+    nodes_after: int
+    merged_nodes: int
+    kind: str = "fanout"
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
+
+
+@dataclass(frozen=True)
+class ClassSimFalsified(ClassEvent):
+    """Bit-parallel random simulation falsified this class's miter.
+
+    The counterexample of the following ``CexFound`` event was produced
+    with *zero* CDCL solver calls — a random pattern batch flipped the
+    property miter outright (:mod:`repro.aig.simvec`).
+    """
+
+    kind: str = "fanout"
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
 
 
 @dataclass(frozen=True)

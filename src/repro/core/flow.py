@@ -118,7 +118,11 @@ class TrojanDetectionFlow:
         """
         if self._lazy_engine is None:
             self._lazy_engine = IpcEngine(
-                self._module, solver_backend=self._config.solver_backend
+                self._module,
+                solver_backend=self._config.solver_backend,
+                simplify=self._config.simplify,
+                sim_patterns=self._config.sim_patterns,
+                fraig_rounds=self._config.fraig_rounds,
             )
         return self._lazy_engine
 

@@ -28,11 +28,15 @@ from repro.rtl.fanout import FanoutAnalysis
 #: cache_misses) emitted by the parallel execution subsystem.
 #: v3: added the per-outcome sequential-mode fields ``depth_reached`` and
 #: ``first_divergence_cycle`` (null for combinational outcomes).
-SCHEMA_VERSION = 3
+#: v4: added the per-run ``preprocess`` block (nodes_before, nodes_after,
+#: merged_nodes, sim_falsified, sweep_s) and the per-outcome preprocessing
+#: telemetry of the simulation-guided simplification subsystem.
+SCHEMA_VERSION = 4
 
-#: Versions ``from_dict`` can still read.  v1/v2 are accepted because v2 and
-#: v3 are purely additive (missing blocks and fields default when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3)
+#: Versions ``from_dict`` can still read.  Older versions are accepted
+#: because v2..v4 are purely additive (missing blocks and fields default
+#: when absent).
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -125,6 +129,16 @@ class DetectionReport:
     workers: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    # Preprocessing statistics of the simulation-guided simplification
+    # subsystem (:mod:`repro.aig` simvec/simplify/fraig), aggregated over
+    # the run's outcomes: miter-cone sizes before/after sweeping, proven
+    # node merges, classes falsified by random simulation alone (zero CDCL
+    # calls), and the total preprocessing wall time.
+    preprocess_nodes_before: int = 0
+    preprocess_nodes_after: int = 0
+    preprocess_merged_nodes: int = 0
+    preprocess_sim_falsified: int = 0
+    preprocess_sweep_s: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Convenience queries
@@ -191,6 +205,13 @@ class DetectionReport:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
             },
+            "preprocess": {
+                "nodes_before": self.preprocess_nodes_before,
+                "nodes_after": self.preprocess_nodes_after,
+                "merged_nodes": self.preprocess_merged_nodes,
+                "sim_falsified": self.preprocess_sim_falsified,
+                "sweep_s": self.preprocess_sweep_s,
+            },
             "outcomes": [_outcome_to_dict(outcome) for outcome in self.outcomes],
             "counterexample": _cex_to_dict(self.counterexample),
             "diagnosis": _diagnosis_to_dict(self.diagnosis),
@@ -216,6 +237,7 @@ class DetectionReport:
             verdict = Verdict(data["verdict"])
             solver = data.get("solver", {})
             execution = data.get("execution", {})
+            preprocess = data.get("preprocess", {})
             report = cls(
                 design=data["design"],
                 verdict=verdict,
@@ -235,6 +257,11 @@ class DetectionReport:
                 workers=execution.get("workers", 1),
                 cache_hits=execution.get("cache_hits", 0),
                 cache_misses=execution.get("cache_misses", 0),
+                preprocess_nodes_before=preprocess.get("nodes_before", 0),
+                preprocess_nodes_after=preprocess.get("nodes_after", 0),
+                preprocess_merged_nodes=preprocess.get("merged_nodes", 0),
+                preprocess_sim_falsified=preprocess.get("sim_falsified", 0),
+                preprocess_sweep_s=preprocess.get("sweep_s", 0.0),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(f"malformed serialized report: {error}") from error
@@ -273,6 +300,15 @@ class DetectionReport:
         execution_line = execution_summary_line(self.workers, self.cache_hits, self.cache_misses)
         if execution_line is not None:
             lines.append(execution_line)
+        if self.preprocess_sim_falsified or self.preprocess_merged_nodes:
+            lines.append(
+                f"  preprocess: {self.preprocess_sim_falsified} class(es) "
+                f"falsified by simulation, {self.preprocess_merged_nodes} "
+                f"node(s) merged by sweeping "
+                f"({self.preprocess_nodes_before} -> "
+                f"{self.preprocess_nodes_after} cone nodes, "
+                f"{self.preprocess_sweep_s:.2f} s)"
+            )
         if self.solver_calls:
             stats = self.solver_stats()
             lines.append(
@@ -319,6 +355,11 @@ def _outcome_to_dict(outcome: PropertyOutcome) -> Dict[str, Any]:
         "counterexample": _cex_to_dict(result.cex),
         "depth_reached": outcome.depth_reached,
         "first_divergence_cycle": outcome.first_divergence_cycle,
+        "sim_falsified": result.sim_falsified,
+        "nodes_before": result.nodes_before,
+        "nodes_after": result.nodes_after,
+        "merged_nodes": result.merged_nodes,
+        "sweep_s": result.sweep_seconds,
     }
 
 
@@ -339,6 +380,11 @@ def _outcome_from_dict(data: Dict[str, Any]) -> PropertyOutcome:
         cnf_new_clauses=data.get("cnf_new_clauses", 0),
         cnf_reused_clauses=data.get("cnf_reused_clauses", 0),
         solver_calls=data.get("solver_calls", 0),
+        sim_falsified=data.get("sim_falsified", False),
+        nodes_before=data.get("nodes_before", 0),
+        nodes_after=data.get("nodes_after", 0),
+        merged_nodes=data.get("merged_nodes", 0),
+        sweep_seconds=data.get("sweep_s", 0.0),
     )
     return PropertyOutcome(
         kind=data["kind"],

@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.aig.aig import AIG, FALSE
+from repro.aig.preprocess import Preprocessor
+from repro.aig.simvec import DEFAULT_PATTERNS
 from repro.errors import ConfigError, DesignError
 from repro.ipc.cex import CounterExample
 from repro.ipc.transition import SymbolicFrame, TransitionEncoder
@@ -121,6 +123,12 @@ class SequentialCheckResult:
     cnf_new_clauses: int = 0
     cnf_reused_clauses: int = 0
     solver_calls: int = 0
+    # Preprocessing telemetry (see PropertyCheckResult in repro.ipc.engine).
+    sim_falsified: bool = False
+    nodes_before: int = 0
+    nodes_after: int = 0
+    merged_nodes: int = 0
+    sweep_seconds: float = 0.0
 
 
 class SequentialUnroller:
@@ -141,6 +149,9 @@ class SequentialUnroller:
         golden: Module,
         reset_values: Optional[Dict[str, int]] = None,
         solver_backend: str = "auto",
+        simplify: bool = False,
+        sim_patterns: int = DEFAULT_PATTERNS,
+        fraig_rounds: int = 1,
     ) -> None:
         missing = [name for name in golden.inputs if name not in design.inputs]
         if missing:
@@ -158,6 +169,14 @@ class SequentialUnroller:
         # Per-cycle difference literals, cached by (cycle, output name) so a
         # deeper bound or a later output class re-encodes nothing.
         self._differences: Dict[Tuple[int, str], int] = {}
+        # Preprocessing state shares the unroller's lifetime: a random
+        # pattern assigns *every* unrolled input (i.e. it is a whole input
+        # sequence), and merges proved while sweeping frame k keep shrinking
+        # the cones of every deeper frame and later output class.
+        self._simplify = simplify
+        self._sim_patterns = sim_patterns
+        self._fraig_rounds = fraig_rounds
+        self._preprocessor: Optional[Preprocessor] = None
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -302,7 +321,19 @@ class SequentialUnroller:
             result.runtime_seconds = _time.perf_counter() - started
             return result
 
-        goal = self._context.literal_of(miter)
+        goal_root = miter
+        if self._simplify:
+            sim_model, goal_root = self._preprocess(result, miter)
+            if sim_model is not None:
+                # A random input sequence already separates the two models:
+                # divergence is witnessed with zero CDCL calls.
+                result.holds = False
+                self._locate_divergence(result, difference_by_cycle, sim_model)
+                result.cex = self._build_counterexample(result, sim_model)
+                result.runtime_seconds = _time.perf_counter() - started
+                return result
+
+        goal = self._context.literal_of(goal_root)
         outcome = self._context.solve([goal])
         result.solver_calls = 1
         result.sat_conflicts = outcome.result.conflicts
@@ -316,6 +347,42 @@ class SequentialUnroller:
             result.cex = self._build_counterexample(result, input_values)
         result.runtime_seconds = _time.perf_counter() - started
         return result
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing (sim-first falsification + fraig sweeping)
+    # ------------------------------------------------------------------ #
+
+    def _get_preprocessor(self) -> Preprocessor:
+        if self._preprocessor is None:
+            self._preprocessor = Preprocessor(
+                self._aig,
+                self._context,
+                sim_patterns=self._sim_patterns,
+                fraig_rounds=self._fraig_rounds,
+            )
+        return self._preprocessor
+
+    def _preprocess(
+        self, result: SequentialCheckResult, miter: int
+    ) -> Tuple[Optional[Dict[int, int]], int]:
+        """Sequential counterpart of the IPC engine's miter preprocessing.
+
+        Returns ``(sim_model, goal_root)``: a concrete falsifying input
+        sequence when random simulation flips the unrolled miter (the SAT
+        solver is then skipped entirely), otherwise ``None`` plus the
+        fraig-swept miter literal the solver should check instead.  The
+        pipeline itself is :class:`repro.aig.preprocess.Preprocessor`,
+        shared with the IPC engine.
+        """
+        outcome = self._get_preprocessor().run([miter])
+        result.nodes_before = outcome.nodes_before
+        result.nodes_after = outcome.nodes_after
+        result.merged_nodes = outcome.merged_nodes
+        result.sweep_seconds = outcome.elapsed_seconds
+        if outcome.sim_model is not None:
+            result.sim_falsified = True
+            return outcome.sim_model, miter
+        return None, outcome.roots[0]
 
     # ------------------------------------------------------------------ #
     # Witness reconstruction

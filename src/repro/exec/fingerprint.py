@@ -33,8 +33,11 @@ from repro.rtl.ir import Module
 #: :mod:`repro.exec.records`).  Part of every cache key, so a layout change
 #: silently invalidates all previously written entries instead of trying to
 #: read them.  v3: outcome records gained the sequential-mode fields
-#: (``depth_reached``, ``first_divergence_cycle``).
-CACHE_SCHEMA_VERSION = 3
+#: (``depth_reached``, ``first_divergence_cycle``).  v4: outcome records
+#: gained the preprocessing telemetry (``sim_falsified``, ``nodes_before``,
+#: ``nodes_after``, ``merged_nodes``, ``sweep_s``), and counterexample
+#: witnesses became canonical under the simulation-guided settle.
+CACHE_SCHEMA_VERSION = 4
 
 
 class _Hasher:
@@ -141,6 +144,15 @@ def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
     hasher.feed("config")
     hasher.feed(f"backend/{backend_name}")
     hasher.feed(f"mode/{config.mode}")
+    # The preprocessing switch affects both modes: it decides whether a class
+    # record carries simulation or solver telemetry, so records of simplified
+    # and unsimplified runs must never alias (verdicts and witnesses are
+    # identical either way, but the telemetry contract is per-configuration).
+    # The batch/round knobs are inert with simplify off — hashing them then
+    # would only make warm --no-simplify caches go cold.
+    hasher.feed(f"simplify/{config.simplify}")
+    if config.simplify:
+        hasher.feed(f"sim/{config.sim_patterns}/{config.fraig_rounds}")
     if config.mode == "sequential":
         hasher.feed(f"depth/{config.depth}")
         hasher.feed("reset-values")

@@ -26,6 +26,8 @@ from repro.core.events import (
     CexFound,
     CexWaived,
     ClassProven,
+    ClassSimFalsified,
+    ConeSimplified,
     PropertyScheduled,
     RunEvent,
     StructurallyDischarged,
@@ -77,6 +79,26 @@ class ClassResult:
                 commitments=self.commitments,
             )
         ]
+        final = self.outcome.result
+        if final.merged_nodes or (
+            final.nodes_before and final.nodes_after < final.nodes_before
+        ):
+            events.append(
+                ConeSimplified(
+                    design=self.design,
+                    index=self.index,
+                    nodes_before=final.nodes_before,
+                    nodes_after=final.nodes_after,
+                    merged_nodes=final.merged_nodes,
+                    kind=self.kind,
+                )
+            )
+        if final.sim_falsified and self.terminal == "cex":
+            events.append(
+                ClassSimFalsified(
+                    design=self.design, index=self.index, kind=self.kind
+                )
+            )
         for round_ in self.rounds:
             events.append(
                 CexFound(
@@ -213,6 +235,14 @@ _VOLATILE_OUTCOME_KEYS = (
     "cnf_new_clauses",
     "cnf_reused_clauses",
     "solver_calls",
+    # Preprocessing telemetry: whether simulation or the solver produced a
+    # result (and how much sweeping shrank a cone) legitimately depends on
+    # the preprocessing flags and on accumulated per-worker pattern state.
+    "sim_falsified",
+    "nodes_before",
+    "nodes_after",
+    "merged_nodes",
+    "sweep_s",
 )
 
 
@@ -227,6 +257,7 @@ def normalized_report_dict(data: Dict[str, Any]) -> Dict[str, Any]:
     normalized.pop("total_runtime_seconds", None)
     normalized.pop("solver", None)
     normalized.pop("execution", None)
+    normalized.pop("preprocess", None)
     for outcome in normalized.get("outcomes", []):
         for key in _VOLATILE_OUTCOME_KEYS:
             outcome.pop(key, None)

@@ -275,6 +275,15 @@ class DesignPlan:
             outcome.result.cnf_reused_clauses for outcome in report.outcomes
         )
 
+        # Preprocessing accounting: aggregated from the outcomes themselves,
+        # so cache replays report the telemetry of the run that proved them.
+        results = [outcome.result for outcome in report.outcomes]
+        report.preprocess_nodes_before = sum(r.nodes_before for r in results)
+        report.preprocess_nodes_after = sum(r.nodes_after for r in results)
+        report.preprocess_merged_nodes = sum(r.merged_nodes for r in results)
+        report.preprocess_sim_falsified = sum(1 for r in results if r.sim_falsified)
+        report.preprocess_sweep_s = sum(r.sweep_seconds for r in results)
+
         report.workers = workers
         if self.cache is not None:
             report.cache_hits = sum(1 for result in merged if result.from_cache)

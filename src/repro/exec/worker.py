@@ -21,9 +21,10 @@ boundary (record round-trip).
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.aig.simvec import DEFAULT_PATTERNS
 from repro.core.config import DetectionConfig
 from repro.core.falsealarm import diagnose_counterexample
 from repro.core.properties import build_fanout_property, build_init_property
@@ -44,6 +45,50 @@ def resolved_backend_name(config: DetectionConfig) -> str:
     if config.solver_backend == "auto":
         return default_backend_name()
     return config.solver_backend
+
+
+#: Preprocessing settings of the *canonical witness settle*.  Any class that
+#: produced a counterexample (terminal or auto-resolved spurious rounds) is
+#: re-settled on a fresh, single-use context with exactly these settings, so
+#: the reported witness depends only on (module, semantic config, class
+#: index) — never on worker sharding, on accumulated solver state, or on
+#: whether the user ran with ``--no-simplify``.  Fixed constants rather than
+#: the user's own knobs: two runs that differ only in preprocessing flags
+#: must report byte-identical counterexamples.
+CANONICAL_SIM_PATTERNS = DEFAULT_PATTERNS
+CANONICAL_FRAIG_ROUNDS = 1
+
+
+def canonical_witness_config(config: DetectionConfig) -> DetectionConfig:
+    """The config of the canonical witness settle for ``config``."""
+    return replace(
+        config,
+        simplify=True,
+        sim_patterns=CANONICAL_SIM_PATTERNS,
+        fraig_rounds=CANONICAL_FRAIG_ROUNDS,
+    )
+
+
+def _has_canonical_settings(config: DetectionConfig) -> bool:
+    return (
+        config.simplify
+        and config.sim_patterns == CANONICAL_SIM_PATTERNS
+        and config.fraig_rounds == CANONICAL_FRAIG_ROUNDS
+    )
+
+
+def _clear_preprocess_telemetry(result: PropertyCheckResult) -> None:
+    """Drop preprocessing telemetry a ``--no-simplify`` run must not show.
+
+    The canonical witness settle always preprocesses (that is what makes it
+    canonical); its sim/sweep counters are an implementation detail of
+    witness canonicalization, not of the user's run.
+    """
+    result.sim_falsified = False
+    result.nodes_before = 0
+    result.nodes_after = 0
+    result.merged_nodes = 0
+    result.sweep_seconds = 0.0
 
 
 @dataclass
@@ -130,7 +175,11 @@ class DesignWorkContext:
     def engine(self) -> IpcEngine:
         if self._engine is None:
             self._engine = IpcEngine(
-                self._module, solver_backend=self._config.solver_backend
+                self._module,
+                solver_backend=self._config.solver_backend,
+                simplify=self._config.simplify,
+                sim_patterns=self._config.sim_patterns,
+                fraig_rounds=self._config.fraig_rounds,
             )
         return self._engine
 
@@ -148,6 +197,9 @@ class DesignWorkContext:
                 self._unit.golden,
                 reset_values=self._config.reset_values,
                 solver_backend=self._config.solver_backend,
+                simplify=self._config.simplify,
+                sim_patterns=self._config.sim_patterns,
+                fraig_rounds=self._config.fraig_rounds,
             )
         return self._unroller
 
@@ -200,22 +252,32 @@ class DesignWorkContext:
         Fast path: settle against this context's shared incremental solver
         state.  If that produced *any* counterexample (a terminal failure or
         auto-resolved spurious rounds), the class is re-settled on a fresh,
-        single-use engine: which satisfying assignment a CDCL search finds
-        depends on everything the solver learned before, so a shared-context
-        counterexample would vary with how classes were sharded over
-        workers.  The canonical re-settle depends only on (module, config,
-        class index), making counterexamples, diagnoses and spurious-round
-        counts identical for every ``jobs`` setting — the determinism the
-        report contract and the result cache rely on.  Classes that simply
-        hold (the overwhelming majority) never pay for it, and neither does
-        a class whose fast path already ran on a virgin engine — that settle
+        single-use context with the *canonical witness settings*
+        (:func:`canonical_witness_config`): which satisfying assignment a
+        CDCL search finds depends on everything the solver learned before,
+        and which pattern a simulation batch trips over depends on every
+        refinement pattern fraig accumulated — so a shared-context
+        counterexample would vary with worker sharding and with the
+        preprocessing flags.  The canonical re-settle depends only on
+        (module, semantic config, class index), making counterexamples,
+        diagnoses and spurious-round counts identical for every ``jobs``
+        setting *and* for ``--no-simplify`` vs the default — the determinism
+        the report contract, the result cache and the simplify-equivalence
+        guarantee all rely on.  Classes that simply hold (the overwhelming
+        majority) never pay for it, and neither does a class whose fast path
+        already ran on a virgin engine with canonical settings — that settle
         *is* the canonical one.
         """
         virgin = self._virgin
         result = self._settle_once(k)
-        if (result.rounds or result.terminal == "cex") and not virgin:
+        if (result.rounds or result.terminal == "cex") and not (
+            virgin and _has_canonical_settings(self._config)
+        ):
+            canonical_unit = replace(
+                self._unit, config=canonical_witness_config(self._config)
+            )
             canonical = DesignWorkContext(
-                self._unit, analysis=self._analysis, graph=self._graph
+                canonical_unit, analysis=self._analysis, graph=self._graph
             )
             result = canonical._settle_once(k)
             # The re-proof's solver work happened on the canonical engine;
@@ -224,6 +286,8 @@ class DesignWorkContext:
             canonical_stats = canonical.stats_snapshot()
             self._extra_stats["solver_calls"] += canonical_stats["solver_calls"]
             self._extra_stats["conflicts"] += canonical_stats["conflicts"]
+        if not self._config.simplify:
+            _clear_preprocess_telemetry(result.outcome.result)
         return result
 
     def _settle_once(self, k: int) -> ClassResult:
@@ -262,6 +326,11 @@ class DesignWorkContext:
             cnf_new_clauses=check.cnf_new_clauses,
             cnf_reused_clauses=check.cnf_reused_clauses,
             solver_calls=check.solver_calls,
+            sim_falsified=check.sim_falsified,
+            nodes_before=check.nodes_before,
+            nodes_after=check.nodes_after,
+            merged_nodes=check.merged_nodes,
+            sweep_seconds=check.sweep_seconds,
         )
         outcome = PropertyOutcome(
             kind="sequential",

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.aig.aig import FALSE, TRUE, negate
 from repro.aig.bitblast import Vector
+from repro.aig.preprocess import Preprocessor
+from repro.aig.simvec import DEFAULT_PATTERNS
 from repro.errors import PropertyError
 from repro.ipc.cex import CounterExample
 from repro.ipc.prop import Equality, IntervalProperty, Term
@@ -59,6 +61,16 @@ class PropertyCheckResult:
     cnf_reused_clauses: int = 0
     solver_calls: int = 0
     cumulative_conflicts: int = 0
+    # Preprocessing telemetry (:mod:`repro.aig` simvec/simplify/fraig):
+    # whether bit-parallel random simulation falsified the miter without any
+    # CDCL call, the miter-cone size before and after the fraig sweep, the
+    # number of proven node merges substituted, and the preprocessing wall
+    # time.  All zero/False when the check ran with simplification off.
+    sim_falsified: bool = False
+    nodes_before: int = 0
+    nodes_after: int = 0
+    merged_nodes: int = 0
+    sweep_seconds: float = 0.0
 
     @property
     def name(self) -> str:
@@ -88,6 +100,10 @@ class PreparedCheck:
     miter: int = FALSE
     needs_sat: bool = False
     prepare_seconds: float = 0.0
+    #: A concrete falsifying input assignment found by sim-first
+    #: falsification (AIG input node -> bit); when set, finish_check builds
+    #: the counterexample from it and never calls the SAT solver.
+    sim_model: Optional[Dict[int, int]] = None
 
     @property
     def discharged(self) -> bool:
@@ -110,6 +126,9 @@ class IpcEngine:
         module: Module,
         persistent_instances: Tuple[int, ...] = (0,),
         solver_backend: str = "auto",
+        simplify: bool = False,
+        sim_patterns: int = DEFAULT_PATTERNS,
+        fraig_rounds: int = 1,
     ) -> None:
         self._module = module
         self._encoder = TransitionEncoder(module)
@@ -122,6 +141,13 @@ class IpcEngine:
         # the node→var cache and all emitted clauses persist, so overlapping
         # cones of later checks are never re-encoded or re-learned.
         self._context = SolverContext(self._encoder.aig, backend=solver_backend)
+        # Preprocessing state shares the engine's lifetime too: patterns
+        # (plus every refinement pattern fraig learned) and proven merges
+        # keep helping across all checks of the run.
+        self._simplify = simplify
+        self._sim_patterns = sim_patterns
+        self._fraig_rounds = fraig_rounds
+        self._preprocessor: Optional[Preprocessor] = None
 
     @property
     def module(self) -> Module:
@@ -233,9 +259,60 @@ class IpcEngine:
                 if miter != FALSE:
                     prepared.miter = miter
                     prepared.needs_sat = True
+                    if self._simplify:
+                        self._preprocess(prepared)
         prepared.prepare_seconds = _time.perf_counter() - started
         result.runtime_seconds = prepared.prepare_seconds
         return prepared
+
+    # ------------------------------------------------------------------ #
+    # Preprocessing (sim-first falsification + fraig sweeping)
+    # ------------------------------------------------------------------ #
+
+    def _get_preprocessor(self) -> Preprocessor:
+        if self._preprocessor is None:
+            self._preprocessor = Preprocessor(
+                self._encoder.aig,
+                self._context,
+                sim_patterns=self._sim_patterns,
+                fraig_rounds=self._fraig_rounds,
+            )
+        return self._preprocessor
+
+    def _preprocess(self, prepared: PreparedCheck) -> None:
+        """Shrink a prepared check's SAT obligation before the solver sees it.
+
+        Stage 1 — *sim-first falsification*: evaluate the miter together
+        with the clause assumptions over a batch of random patterns; any
+        pattern satisfying all of them is a genuine counterexample, recorded
+        (after deterministic zero-minimization) as ``prepared.sim_model`` —
+        :meth:`finish_check` then never touches the CDCL solver.
+
+        Stage 2 — *fraig sweeping* (only when simulation could not falsify):
+        merge simulation-equivalent nodes by bounded SAT proof and rebuild
+        the miter/assumption cones with the merges substituted, constants
+        folded and the 2-AND rewriting rules applied.  The rebuilt literals
+        are equivalence-preserving, so the check's verdict is unchanged —
+        only the CNF the solver receives is smaller.
+
+        Both stages live in :class:`repro.aig.preprocess.Preprocessor`,
+        shared with the sequential unroller.
+        """
+        result = prepared.result
+        roots = [prepared.miter] + list(prepared.clause_assumptions)
+        outcome = self._get_preprocessor().run(roots)
+        result.nodes_before = outcome.nodes_before
+        result.nodes_after = outcome.nodes_after
+        result.merged_nodes = outcome.merged_nodes
+        result.sweep_seconds = outcome.elapsed_seconds
+        if outcome.sim_model is not None:
+            prepared.sim_model = outcome.sim_model
+            result.sim_falsified = True
+        else:
+            prepared.miter = outcome.roots[0]
+            prepared.clause_assumptions = [
+                literal for literal in outcome.roots[1:] if literal != TRUE
+            ]
 
     def finish_check(self, prepared: PreparedCheck) -> PropertyCheckResult:
         """SAT stage: settle a prepared check's remaining obligations."""
@@ -243,12 +320,24 @@ class IpcEngine:
         if not prepared.needs_sat:
             return result
         started = _time.perf_counter()
-        holds, model_values = self._solve(prepared)
-        result.holds = holds
-        if not holds:
+        if prepared.sim_model is not None:
+            # Sim-first falsification already produced a concrete model; the
+            # counterexample is built from it with zero CDCL calls.
+            result.holds = False
             result.cex = self._build_counterexample(
-                prepared.prop, prepared.frames, prepared.obligations, model_values, prepared.window
+                prepared.prop,
+                prepared.frames,
+                prepared.obligations,
+                prepared.sim_model,
+                prepared.window,
             )
+        else:
+            holds, model_values = self._solve(prepared)
+            result.holds = holds
+            if not holds:
+                result.cex = self._build_counterexample(
+                    prepared.prop, prepared.frames, prepared.obligations, model_values, prepared.window
+                )
         result.runtime_seconds = prepared.prepare_seconds + (_time.perf_counter() - started)
         return result
 

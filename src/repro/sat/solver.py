@@ -175,42 +175,61 @@ class SatSolver:
     # ------------------------------------------------------------------ #
 
     def _propagate(self) -> Optional[int]:
-        """Propagate pending assignments; return a conflicting clause index or None."""
-        while self._propagation_head < len(self._trail):
-            literal = self._trail[self._propagation_head]
+        """Propagate pending assignments; return a conflicting clause index or None.
+
+        This is the solver's innermost loop, so attribute lookups are
+        hoisted into locals and the per-literal watch list is rebuilt
+        *lazily*: as long as no watch moves to a replacement literal, the
+        existing list object is kept as-is instead of being copied element
+        by element on every propagation.
+        """
+        watches = self._watches
+        clauses = self._clauses
+        trail = self._trail
+        literal_value = self._literal_value
+        enqueue = self._enqueue
+        while self._propagation_head < len(trail):
+            literal = trail[self._propagation_head]
             self._propagation_head += 1
             self._propagations += 1
-            watch_list = self._watches.get(literal)
+            watch_list = watches.get(literal)
             if not watch_list:
                 continue
-            new_watch_list: List[int] = []
+            # Created on the first moved watch; None means "list unchanged".
+            new_watch_list: Optional[List[int]] = None
             conflict: Optional[int] = None
+            false_literal = -literal
             for position, clause_index in enumerate(watch_list):
-                clause = self._clauses[clause_index]
-                false_literal = -literal
+                clause = clauses[clause_index]
                 # Ensure the false literal is at position 1.
                 if clause[0] == false_literal:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._literal_value(first) == 1:
-                    new_watch_list.append(clause_index)
+                if literal_value(first) == 1:
+                    if new_watch_list is not None:
+                        new_watch_list.append(clause_index)
                     continue
                 # Look for a replacement watch.
                 replaced = False
                 for k in range(2, len(clause)):
-                    if self._literal_value(clause[k]) != 0:
+                    if literal_value(clause[k]) != 0:
                         clause[1], clause[k] = clause[k], clause[1]
-                        self._watch(clause[1], clause_index)
+                        watches.setdefault(-clause[1], []).append(clause_index)
                         replaced = True
                         break
                 if replaced:
+                    if new_watch_list is None:
+                        new_watch_list = watch_list[:position]
                     continue
-                new_watch_list.append(clause_index)
-                if not self._enqueue(first, reason=clause_index):
+                if new_watch_list is not None:
+                    new_watch_list.append(clause_index)
+                if not enqueue(first, reason=clause_index):
                     conflict = clause_index
-                    new_watch_list.extend(watch_list[position + 1 :])
+                    if new_watch_list is not None:
+                        new_watch_list.extend(watch_list[position + 1 :])
                     break
-            self._watches[literal] = new_watch_list
+            if new_watch_list is not None:
+                watches[literal] = new_watch_list
             if conflict is not None:
                 return conflict
         return None

@@ -128,3 +128,58 @@ class TestEvaluation:
                 [root], {a >> 1: int(va), b >> 1: int(vb), c >> 1: int(vc)}
             )[0]
             assert value == expected
+
+
+def _random_cone(rng, num_inputs=5, num_gates=25):
+    """A random AIG cone over ``num_inputs`` inputs; returns (aig, root)."""
+    aig = AIG()
+    literals = [aig.add_input(f"i{k}") for k in range(num_inputs)]
+    for _ in range(num_gates):
+        a = rng.choice(literals) ^ rng.randint(0, 1)
+        b = rng.choice(literals) ^ rng.randint(0, 1)
+        literals.append(aig.and_(a, b))
+    return aig, literals[-1] ^ rng.randint(0, 1)
+
+
+class TestEvaluateWords:
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_matches_scalar_evaluate_on_random_cones(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        aig, root = _random_cone(rng)
+        inputs = aig.inputs()
+        num_patterns = 16
+        words = {node: rng.getrandbits(num_patterns) for node in inputs}
+        mask = (1 << num_patterns) - 1
+        word = aig.evaluate_words([root], words, mask)[0]
+        for index in range(num_patterns):
+            scalar = {node: (words[node] >> index) & 1 for node in inputs}
+            expected = aig.evaluate([root], scalar)[0]
+            assert (word >> index) & 1 == expected
+
+    def test_constant_roots(self):
+        aig = AIG()
+        aig.add_input("a")
+        mask = (1 << 8) - 1
+        assert aig.evaluate_words([TRUE], {}, mask) == [mask]
+        assert aig.evaluate_words([FALSE], {}, mask) == [0]
+
+    def test_untracked_inputs_default_to_zero(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        node = aig.and_(a, b)
+        mask = 0b1111
+        assert aig.evaluate_words([node], {a >> 1: mask}, mask) == [0]
+
+
+class TestNodeCounting:
+    def test_num_and_nodes_counts_only_and_gates(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        assert aig.num_and_nodes == 0
+        aig.and_(a, b)
+        assert aig.num_and_nodes == 1
+        assert aig.num_nodes == 4  # constant + 2 inputs + 1 AND

@@ -330,7 +330,12 @@ class TestBatchSession:
         assert [event.design for event in started] == ["pipe"]
 
     def test_cumulative_solver_stats(self, trojaned_module):
-        batch = BatchSession([trojaned_module, trojaned_module])
+        # simplify=False forces the CDCL path (the default preprocessing
+        # falsifies the tampered class by simulation, with zero solver calls).
+        batch = BatchSession(
+            [trojaned_module, trojaned_module],
+            config=DetectionConfig(simplify=False),
+        )
         report = batch.run()
         stats = report.solver_stats()
         assert stats["solver_calls"] == sum(r.solver_calls for r in report.reports)

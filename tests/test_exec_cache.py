@@ -117,6 +117,12 @@ class TestFingerprints:
             dict(mode="sequential"),
             dict(mode="sequential", reset_values={"count": 1}),
         ),
+        # Preprocessing knobs: verdicts and witnesses are identical either
+        # way, but the telemetry a record carries (sim vs solver counters)
+        # is per-configuration, so simplified and plain runs never alias.
+        (dict(), dict(simplify=False)),
+        (dict(), dict(sim_patterns=128)),
+        (dict(), dict(fraig_rounds=2)),
     ]
     _EXECUTION_ONLY_FIELDS = {
         "stop_at_first_failure", "max_class", "jobs", "cache_dir", "use_cache",

@@ -185,3 +185,56 @@ class TestRandomised:
 class TestLuby:
     def test_prefix(self):
         assert [_luby(i) for i in range(10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2]
+
+
+class TestPropagationCounterRegression:
+    """Pin the watched-literal scheme's exact behaviour on a fixed formula.
+
+    The `_propagate` hot loop hoists attribute lookups into locals and only
+    rebuilds a watch list when a watch actually moved; none of that may
+    change *what* is propagated.  The counters below were recorded on the
+    straightforward always-rebuild implementation — any drift means the
+    optimisation changed semantics, not just speed.
+    """
+
+    def _fixed_formula(self):
+        rng = random.Random(42)
+        clauses = []
+        for _ in range(126):
+            clause = sorted(rng.sample(range(1, 31), 3))
+            clauses.append([v if rng.random() < 0.5 else -v for v in clause])
+        return clauses
+
+    def test_counters_unchanged_on_fixed_formula(self):
+        clauses = self._fixed_formula()
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.satisfiable
+        assert check_model(clauses, result.model)
+        assert (result.propagations, result.decisions, result.conflicts) == (52, 15, 5)
+
+    def test_counters_unchanged_under_assumptions(self):
+        clauses = self._fixed_formula()
+        solver = SatSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver.solve()
+        result = solver.solve(assumptions=[1, -2])
+        assert result.satisfiable
+        assert (result.propagations, result.decisions, result.conflicts) == (30, 9, 0)
+
+    def test_unmoved_watch_lists_keep_their_contents(self):
+        # A solve that moves no watches must leave every clause still
+        # watched by exactly two literals (the invariant the lazy rebuild
+        # relies on); re-solving after backtracking exercises the same
+        # lists again and must reach the same model.
+        solver = SatSolver()
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        first = solver.solve()
+        second = solver.solve()
+        assert first.satisfiable and second.satisfiable
+        assert first.model == second.model

@@ -197,7 +197,7 @@ class TestSequentialSessions:
         design = self._design(timebomb_module, golden_module)
         report = DetectionSession(design, DetectionConfig(mode="sequential", depth=5)).run()
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 3
+        assert data["schema_version"] == 4
         rebuilt = DetectionReport.from_dict(data)
         assert rebuilt.to_dict() == report.to_dict()
         outcome = rebuilt.failing_outcome()
@@ -217,7 +217,11 @@ class TestSequentialSessions:
 
     def test_warm_cache_replays_with_zero_solver_calls(self, tmp_path, timebomb_module, golden_module):
         design = self._design(timebomb_module, golden_module)
-        config = DetectionConfig(mode="sequential", depth=5, cache_dir=str(tmp_path))
+        # simplify=False keeps the cold run on the CDCL path, so the
+        # zero-solver-calls assertion on the warm replay stays meaningful.
+        config = DetectionConfig(
+            mode="sequential", depth=5, cache_dir=str(tmp_path), simplify=False
+        )
         cold = DetectionSession(design, config).run()
         assert cold.cache_misses > 0 and cold.solver_calls > 0
         warm = DetectionSession(design, config).run()
