@@ -16,6 +16,15 @@ Two hard assertions make this an acceptance gate, not just a trend line:
   conflicts than simplify-off (the tampered cones are falsified by random
   simulation before the solver ever sees them).
 
+The document also carries a ``solver_internals`` section: one bundled hard
+UNSAT check (pigeonhole) solved by the stock CDCL configuration, by a
+no-minimization solver, and by a tightly budgeted learned-clause database —
+with hard assertions that conflict-clause minimization does not increase the
+conflict count and that reduction actually deletes clauses while keeping the
+live learned tier below everything ever learned.  ``benchmarks/perf_gate.py``
+compares a freshly generated document against the committed one and fails CI
+when the trojan conflict floor or the minimized conflict count regresses.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_simplify.py
@@ -73,11 +82,79 @@ def _audit(name: str, **overrides) -> Dict[str, object]:
         "verdict": report.verdict.value,
         "solver_conflicts": report.solver_conflicts,
         "solve_calls": report.solver_calls,
+        "restarts": report.solver_restarts,
+        "learned_clauses": report.solver_learned_clauses,
+        "deleted_clauses": report.solver_deleted_clauses,
         "sim_falsified": report.preprocess_sim_falsified,
         "merged_nodes": report.preprocess_merged_nodes,
         "sweep_s": report.preprocess_sweep_s,
         "normalized": normalized_report_dict(report.to_dict()),
     }
+
+
+def _pigeonhole_clauses(holes: int) -> List[List[int]]:
+    """PH(holes): holes+1 pigeons in ``holes`` holes — classically hard UNSAT."""
+    pigeons = holes + 1
+    var = lambda p, h: p * holes + h + 1
+    clauses: List[List[int]] = [
+        [var(p, h) for h in range(holes)] for p in range(pigeons)
+    ]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, h), -var(p2, h)])
+    return clauses
+
+
+def solver_internals_record(holes: int = 6) -> Dict[str, object]:
+    """Minimization / learned-DB-reduction evidence on one hard check.
+
+    Three solver configurations prove the same PH(``holes``) instance; the
+    record exposes each one's conflicts, restarts and learned-clause
+    economy.  Assertions gate the two claims the CDCL overhaul makes:
+    minimization lowers (never raises) the conflict floor, and reduction
+    bounds the live learned tier while provably deleting clauses.
+    """
+    from repro.sat import PythonCdclBackend
+
+    clauses = _pigeonhole_clauses(holes)
+    configurations = {
+        "minimize": PythonCdclBackend(),
+        "no_minimize": PythonCdclBackend(minimize=False),
+        "bounded_db": PythonCdclBackend(reduce_base=100, reduce_increment=25),
+    }
+    record: Dict[str, object] = {"instance": f"pigeonhole-{holes}"}
+    for label, backend in configurations.items():
+        for clause in clauses:
+            backend.add_clause(clause)
+        started = time.perf_counter()
+        result = backend.solve()
+        if result.satisfiable:
+            raise AssertionError(f"{label}: PH({holes}) must be UNSAT")
+        record[label] = {
+            "wall_s": time.perf_counter() - started,
+            "conflicts": result.conflicts,
+            "restarts": result.restarts,
+            "learned_clauses": backend.total_learned_clauses,
+            "deleted_clauses": backend.total_deleted_clauses,
+            "live_learned_clauses": backend.solver.live_learned_clauses,
+        }
+    minimize, plain = record["minimize"], record["no_minimize"]
+    if minimize["conflicts"] > plain["conflicts"]:
+        raise AssertionError(
+            f"conflict-clause minimization raised the PH({holes}) conflict "
+            f"count: {minimize['conflicts']} vs {plain['conflicts']}"
+        )
+    bounded = record["bounded_db"]
+    if bounded["deleted_clauses"] <= 0:
+        raise AssertionError("learned-clause reduction never fired on the bounded DB")
+    if bounded["live_learned_clauses"] >= bounded["learned_clauses"]:
+        raise AssertionError(
+            "reduction failed to bound the live learned tier: "
+            f"{bounded['live_learned_clauses']} live of "
+            f"{bounded['learned_clauses']} learned"
+        )
+    return record
 
 
 def run_benchmark(benchmarks: List[str]) -> Dict[str, object]:
@@ -135,6 +212,7 @@ def run_benchmark(benchmarks: List[str]) -> Dict[str, object]:
         "trojan_speedup": (
             trojan_wall["off"] / trojan_wall["on"] if trojan_wall["on"] > 0 else None
         ),
+        "solver_internals": solver_internals_record(),
     }
 
 
@@ -166,6 +244,14 @@ def main(argv: List[str] = None) -> int:
             f" ({on['sim_falsified']} sim-falsified)   "
             f"off: {off['wall_s']:.2f} s / {off['solver_conflicts']} cfl"
         )
+    internals = document["solver_internals"]
+    print(
+        f"{internals['instance']}: {internals['minimize']['conflicts']} cfl "
+        f"minimized vs {internals['no_minimize']['conflicts']} plain; "
+        f"bounded DB kept {internals['bounded_db']['live_learned_clauses']} of "
+        f"{internals['bounded_db']['learned_clauses']} learned "
+        f"({internals['bounded_db']['deleted_clauses']} deleted)"
+    )
     speedup = document["trojan_speedup"]
     print(
         f"trojan totals: {document['trojan_conflicts']['on']} vs "

@@ -20,9 +20,16 @@ pytest-benchmark suites are represented by their core scenario (a full
 detection flow on the design the suite pins down), because their statistical
 micro-measurements do not reduce to one number per benchmark.
 
+``--repeat N`` runs every scenario N times and records the **median** wall
+time (counters are deterministic across repeats, so they come from the
+median run): single-shot wall clocks on shared CI runners are noisy enough
+to drown small regressions, and the median is robust against one cold-cache
+or noisy-neighbour outlier where the mean is not.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick
+    PYTHONPATH=src python benchmarks/run_all.py --quick --repeat 3
     PYTHONPATH=src python benchmarks/run_all.py --output BENCH_core.json
 """
 
@@ -32,6 +39,7 @@ import argparse
 import importlib.util
 import json
 import os
+import statistics
 import sys
 import time
 from typing import Callable, Dict, List, Tuple
@@ -139,19 +147,27 @@ SCENARIOS: List[Tuple[str, Callable[[bool], Dict[str, object]]]] = [
 ]
 
 
-def run_all(quick: bool = True) -> Dict[str, Dict[str, object]]:
+def run_all(quick: bool = True, repeat: int = 1) -> Dict[str, Dict[str, object]]:
+    if repeat < 1:
+        raise ValueError(f"--repeat must be >= 1, got {repeat}")
     document: Dict[str, Dict[str, object]] = {}
     for name, scenario in SCENARIOS:
-        record = scenario(quick)
+        runs = [scenario(quick) for _ in range(repeat)]
+        walls = sorted(float(run["wall_s"]) for run in runs)
+        # The run whose wall time is the (lower) median represents the
+        # scenario; its counters are deterministic across repeats anyway.
+        median_wall = walls[(len(walls) - 1) // 2]
+        record = next(run for run in runs if float(run["wall_s"]) == median_wall)
         document[name] = {
-            "wall_s": float(record["wall_s"]),
+            "wall_s": statistics.median(walls),
             "solver_conflicts": int(record["solver_conflicts"]),
             "solve_calls": int(record["solve_calls"]),
         }
+        spread = f" (n={repeat}, spread {walls[0]:.2f}-{walls[-1]:.2f} s)" if repeat > 1 else ""
         print(
             f"{name:20s} {document[name]['wall_s']:7.2f} s  "
             f"{document[name]['solver_conflicts']:6d} conflicts  "
-            f"{document[name]['solve_calls']:4d} solver calls"
+            f"{document[name]['solve_calls']:4d} solver calls{spread}"
         )
     return document
 
@@ -164,12 +180,17 @@ def main(argv: List[str] = None) -> int:
         help="reduced workloads for CI (smaller benchmark sets and depths)",
     )
     parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="repeats per scenario; the recorded wall time is the median "
+             "(default: 1)",
+    )
+    parser.add_argument(
         "--output", default="BENCH_core.json", metavar="FILE",
         help="where to write the unified JSON document (default: BENCH_core.json)",
     )
     args = parser.parse_args(argv)
 
-    document = run_all(quick=args.quick)
+    document = run_all(quick=args.quick, repeat=args.repeat)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -64,18 +64,20 @@ class Preprocessor:
         context: SolverContext,
         sim_patterns: int = DEFAULT_PATTERNS,
         fraig_rounds: int = 1,
+        sim_backend: str = "auto",
     ) -> None:
         self._aig = aig
         self._context = context
         self._sim_patterns = sim_patterns
         self._fraig_rounds = fraig_rounds
+        self._sim_backend = sim_backend
         self._patterns: Optional[PatternSet] = None
         self._fraig: Optional[FraigContext] = None
 
     @property
     def patterns(self) -> PatternSet:
         if self._patterns is None:
-            self._patterns = PatternSet(self._sim_patterns)
+            self._patterns = PatternSet(self._sim_patterns, sim_backend=self._sim_backend)
         return self._patterns
 
     @property
@@ -100,7 +102,9 @@ class Preprocessor:
         index = first_satisfying_index(words, patterns.mask)
         if index is not None:
             assignment = patterns.extract(aig, roots, index, cone=cone)
-            outcome.sim_model = minimize_assignment(aig, roots, assignment, cone=cone)
+            outcome.sim_model = minimize_assignment(
+                aig, roots, assignment, cone=cone, sim_backend=self._sim_backend
+            )
             outcome.nodes_after = outcome.nodes_before
         elif self._fraig_rounds > 0:
             swept, stats = self.fraig.sweep(roots, cone=cone)

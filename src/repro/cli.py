@@ -13,7 +13,9 @@ A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
 ``run`` audits one design (``--json`` emits the schema-versioned report,
 ``--verbose`` streams per-property events as they settle;
 ``--no-simplify`` / ``--sim-patterns`` / ``--fraig-rounds`` control the
-simulation-guided miter preprocessing, which is on by default; ``--mode
+simulation-guided miter preprocessing, which is on by default;
+``--no-inprocess`` disables between-check solver simplification and
+``--sim-backend`` selects the simulation kernel; ``--mode
 sequential`` switches to bounded design-vs-golden equivalence with
 ``--depth``/``--reset-value``/``--golden-top`` and ``--vcd`` waveform
 export of the multi-cycle counterexample), ``batch`` audits
@@ -178,6 +180,23 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
              f"(default: {defaults.fraig_rounds}; 0 keeps sim-first "
              f"falsification but disables SAT sweeping)",
     )
+    parser.add_argument(
+        "--no-inprocess",
+        action="store_true",
+        help="disable solver inprocessing between checks (clause "
+             "vivification and bounded elimination of dead per-check miter "
+             "variables); the persistent clause database is left untouched",
+    )
+    from repro.aig.simvec import SIM_BACKENDS
+
+    parser.add_argument(
+        "--sim-backend",
+        choices=SIM_BACKENDS,
+        default=defaults.sim_backend,
+        help=f"bit-parallel simulation kernel (default: "
+             f"{defaults.sim_backend}; auto picks numpy for wide batches "
+             f"when installed — the kernels are bit-identical)",
+    )
 
 
 def _add_output_options(parser: argparse.ArgumentParser) -> None:
@@ -338,6 +357,8 @@ def _shared_config_kwargs(args: argparse.Namespace) -> dict:
         simplify=not args.no_simplify,
         sim_patterns=args.sim_patterns,
         fraig_rounds=args.fraig_rounds,
+        inprocess=not args.no_inprocess,
+        sim_backend=args.sim_backend,
     )
 
 

@@ -163,6 +163,20 @@ class DetectionConfig:
         Counterexample-guided refinement rounds of the fraig sweep per
         preprocessed cone (>= 0; 0 disables SAT sweeping but keeps
         sim-first falsification).
+    inprocess:
+        When true (default), the persistent solver context is simplified
+        *between* checks (clause vivification + bounded elimination of dead
+        per-check miter variables at level 0, plus learned-clause
+        reduction inside the solver).  ``False`` (the CLI's
+        ``--no-inprocess``) leaves the clause database untouched between
+        checks.  Verdicts and counterexamples are identical either way.
+    sim_backend:
+        Simulation kernel of the random-pattern batches: ``"auto"``
+        (default) picks the numpy-vectorized kernel for wide batches when
+        numpy is installed, ``"python"`` forces the pure-Python kernel,
+        ``"numpy"`` forces the vectorized kernel (falling back to Python
+        when numpy is missing).  The kernels are bit-identical, so this is
+        purely an execution knob.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -181,6 +195,8 @@ class DetectionConfig:
     simplify: bool = True
     sim_patterns: int = 64
     fraig_rounds: int = 1
+    inprocess: bool = True
+    sim_backend: str = "auto"
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -206,6 +222,15 @@ class DetectionConfig:
             raise ConfigError(f"simplify must be a bool, got {self.simplify!r}")
         _require_int(self.sim_patterns, "sim_patterns", 1)
         _require_int(self.fraig_rounds, "fraig_rounds", 0)
+        if not isinstance(self.inprocess, bool):
+            raise ConfigError(f"inprocess must be a bool, got {self.inprocess!r}")
+        from repro.aig.simvec import SIM_BACKENDS
+
+        if self.sim_backend not in SIM_BACKENDS:
+            raise ConfigError(
+                f"unknown sim backend {self.sim_backend!r}; "
+                f"available: {', '.join(SIM_BACKENDS)}"
+            )
         if self.reset_values is not None:
             if not isinstance(self.reset_values, dict):
                 raise ConfigError(

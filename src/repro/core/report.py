@@ -31,12 +31,14 @@ from repro.rtl.fanout import FanoutAnalysis
 #: v4: added the per-run ``preprocess`` block (nodes_before, nodes_after,
 #: merged_nodes, sim_falsified, sweep_s) and the per-outcome preprocessing
 #: telemetry of the simulation-guided simplification subsystem.
-SCHEMA_VERSION = 4
+#: v5: added the CDCL search-dynamics counters to the ``solver`` block
+#: (restarts, learned_clauses, deleted_clauses).
+SCHEMA_VERSION = 5
 
 #: Versions ``from_dict`` can still read.  Older versions are accepted
-#: because v2..v4 are purely additive (missing blocks and fields default
+#: because v2..v5 are purely additive (missing blocks and fields default
 #: when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -119,9 +121,17 @@ class DetectionReport:
     total_runtime_seconds: float = 0.0
     spurious_resolved: int = 0
     # Incremental-solving statistics of the run's shared solver context.
+    # The restart/learned/deleted counters expose the CDCL search dynamics
+    # (Luby restarts, learned-clause retention and glue-aware reduction);
+    # all solver counters live in the report's "solver" block, which the
+    # determinism comparisons strip wholesale (see
+    # :func:`repro.exec.records.normalized_report_dict`).
     solver_backend: str = ""
     solver_calls: int = 0
     solver_conflicts: int = 0
+    solver_restarts: int = 0
+    solver_learned_clauses: int = 0
+    solver_deleted_clauses: int = 0
     cnf_clauses: int = 0
     cnf_clauses_reused: int = 0
     # Execution-subsystem statistics: worker-process count of the run and
@@ -175,6 +185,9 @@ class DetectionReport:
         return {
             "solver_calls": self.solver_calls,
             "conflicts": self.solver_conflicts,
+            "restarts": self.solver_restarts,
+            "learned_clauses": self.solver_learned_clauses,
+            "deleted_clauses": self.solver_deleted_clauses,
             "clauses_encoded": self.cnf_clauses,
             "clauses_new": new_clauses,
             "clauses_reused": self.cnf_clauses_reused,
@@ -197,6 +210,9 @@ class DetectionReport:
                 "backend": self.solver_backend,
                 "calls": self.solver_calls,
                 "conflicts": self.solver_conflicts,
+                "restarts": self.solver_restarts,
+                "learned_clauses": self.solver_learned_clauses,
+                "deleted_clauses": self.solver_deleted_clauses,
                 "cnf_clauses": self.cnf_clauses,
                 "cnf_clauses_reused": self.cnf_clauses_reused,
             },
@@ -252,6 +268,9 @@ class DetectionReport:
                 solver_backend=solver.get("backend", ""),
                 solver_calls=solver.get("calls", 0),
                 solver_conflicts=solver.get("conflicts", 0),
+                solver_restarts=solver.get("restarts", 0),
+                solver_learned_clauses=solver.get("learned_clauses", 0),
+                solver_deleted_clauses=solver.get("deleted_clauses", 0),
                 cnf_clauses=solver.get("cnf_clauses", 0),
                 cnf_clauses_reused=solver.get("cnf_clauses_reused", 0),
                 workers=execution.get("workers", 1),
@@ -314,7 +333,9 @@ class DetectionReport:
             lines.append(
                 f"  solver ({self.solver_backend}): {stats['solver_calls']} calls,"
                 f" {stats['clauses_new']} new / {stats['clauses_reused']} reused clauses,"
-                f" {stats['conflicts']} conflicts"
+                f" {stats['conflicts']} conflicts, {stats['restarts']} restarts,"
+                f" {stats['learned_clauses']} learned /"
+                f" {stats['deleted_clauses']} deleted"
             )
         if self.coverage is not None and not self.coverage.complete:
             lines.append("  " + self.coverage.summary().replace("\n", "\n  "))

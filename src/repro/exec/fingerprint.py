@@ -15,9 +15,12 @@ behaviour.
 Deliberately *excluded* from the config fingerprint are the knobs that do
 not change any individual property's outcome: ``stop_at_first_failure`` and
 ``max_class`` only select *which* classes run, and ``jobs`` / ``cache_dir``
-/ ``use_cache`` only select *how* they run.  A truncated audit therefore
-warms the cache for a later full audit, and a serial run warms it for a
-parallel one.
+/ ``use_cache`` only select *how* they run.  ``sim_backend`` is excluded
+too: the numpy and Python simulation kernels are bit-identical by
+construction (see :mod:`repro.aig.simd`), so not a single bit of any record
+can depend on the kernel choice.  A truncated audit therefore warms the
+cache for a later full audit, a serial run warms it for a parallel one, and
+a numpy run warms it for a machine without numpy.
 """
 
 from __future__ import annotations
@@ -36,8 +39,12 @@ from repro.rtl.ir import Module
 #: (``depth_reached``, ``first_divergence_cycle``).  v4: outcome records
 #: gained the preprocessing telemetry (``sim_falsified``, ``nodes_before``,
 #: ``nodes_after``, ``merged_nodes``, ``sweep_s``), and counterexample
-#: witnesses became canonical under the simulation-guided settle.
-CACHE_SCHEMA_VERSION = 4
+#: witnesses became canonical under the simulation-guided settle.  v5: the
+#: canonical witness settle runs solver inprocessing between checks
+#: (vivified clauses propagate differently, so the CDCL search may land on
+#: a different satisfying assignment than v4's) — witnesses cached by
+#: earlier versions must not replay.
+CACHE_SCHEMA_VERSION = 5
 
 
 class _Hasher:
@@ -153,6 +160,11 @@ def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
     hasher.feed(f"simplify/{config.simplify}")
     if config.simplify:
         hasher.feed(f"sim/{config.sim_patterns}/{config.fraig_rounds}")
+    # Like simplify, inprocessing never changes a verdict or a reported
+    # witness (the canonical settle pins it), but it does change the solver
+    # telemetry of every class settled after the first inprocessing pass —
+    # so records of inprocessed and untouched runs must never alias.
+    hasher.feed(f"inprocess/{config.inprocess}")
     if config.mode == "sequential":
         hasher.feed(f"depth/{config.depth}")
         hasher.feed("reset-values")

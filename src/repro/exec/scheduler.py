@@ -266,6 +266,13 @@ class DesignPlan:
         )
         report.solver_calls = sum(int(cs.stats.get("solver_calls", 0)) for cs in chunk_stats)
         report.solver_conflicts = sum(int(cs.stats.get("conflicts", 0)) for cs in chunk_stats)
+        report.solver_restarts = sum(int(cs.stats.get("restarts", 0)) for cs in chunk_stats)
+        report.solver_learned_clauses = sum(
+            int(cs.stats.get("learned_clauses", 0)) for cs in chunk_stats
+        )
+        report.solver_deleted_clauses = sum(
+            int(cs.stats.get("deleted_clauses", 0)) for cs in chunk_stats
+        )
         per_worker_cnf: Dict[str, int] = {}
         for cs in chunk_stats:
             snapshot = int(cs.stats.get("cnf_clauses", 0))

@@ -57,6 +57,13 @@ def resolved_backend_name(config: DetectionConfig) -> str:
 #: must report byte-identical counterexamples.
 CANONICAL_SIM_PATTERNS = DEFAULT_PATTERNS
 CANONICAL_FRAIG_ROUNDS = 1
+#: Inprocessing changes which satisfying assignment later checks of the
+#: *same context* find (vivified clauses propagate differently), so the
+#: canonical settle pins it like every other search-state knob.  The sim
+#: *kernel* (``sim_backend``) is deliberately not pinned: the numpy and
+#: Python kernels are bit-identical by construction, so witnesses cannot
+#: depend on it.
+CANONICAL_INPROCESS = True
 
 
 def canonical_witness_config(config: DetectionConfig) -> DetectionConfig:
@@ -66,6 +73,7 @@ def canonical_witness_config(config: DetectionConfig) -> DetectionConfig:
         simplify=True,
         sim_patterns=CANONICAL_SIM_PATTERNS,
         fraig_rounds=CANONICAL_FRAIG_ROUNDS,
+        inprocess=CANONICAL_INPROCESS,
     )
 
 
@@ -74,6 +82,7 @@ def _has_canonical_settings(config: DetectionConfig) -> bool:
         config.simplify
         and config.sim_patterns == CANONICAL_SIM_PATTERNS
         and config.fraig_rounds == CANONICAL_FRAIG_ROUNDS
+        and config.inprocess == CANONICAL_INPROCESS
     )
 
 
@@ -112,7 +121,19 @@ class WorkUnit:
     golden: Optional[Module] = None
 
 
-_EMPTY_STATS = {"solver_calls": 0, "conflicts": 0, "cnf_clauses": 0}
+_EMPTY_STATS = {
+    "solver_calls": 0,
+    "conflicts": 0,
+    "restarts": 0,
+    "learned_clauses": 0,
+    "deleted_clauses": 0,
+    "cnf_clauses": 0,
+}
+
+#: Solver-work counters accumulated across engines (the persistent one plus
+#: every canonical re-settle engine); CNF size is excluded — it is a
+#: snapshot of the persistent encoding, not accumulable work.
+_WORK_COUNTERS = ("solver_calls", "conflicts", "restarts", "learned_clauses", "deleted_clauses")
 
 
 class DesignWorkContext:
@@ -147,7 +168,7 @@ class DesignWorkContext:
         # CNF size is deliberately excluded: ``cnf_clauses`` stays the
         # persistent context's encoding size, the metric the report always
         # carried.
-        self._extra_stats = {"solver_calls": 0, "conflicts": 0}
+        self._extra_stats = {counter: 0 for counter in _WORK_COUNTERS}
 
     # ------------------------------------------------------------------ #
     # Lazily built collaborators (a fully cached run builds none of them)
@@ -180,6 +201,8 @@ class DesignWorkContext:
                 simplify=self._config.simplify,
                 sim_patterns=self._config.sim_patterns,
                 fraig_rounds=self._config.fraig_rounds,
+                inprocess=self._config.inprocess,
+                sim_backend=self._config.sim_backend,
             )
         return self._engine
 
@@ -200,6 +223,8 @@ class DesignWorkContext:
                 simplify=self._config.simplify,
                 sim_patterns=self._config.sim_patterns,
                 fraig_rounds=self._config.fraig_rounds,
+                inprocess=self._config.inprocess,
+                sim_backend=self._config.sim_backend,
             )
         return self._unroller
 
@@ -219,14 +244,14 @@ class DesignWorkContext:
 
     def stats_snapshot(self) -> Dict[str, int]:
         snapshot = dict(_EMPTY_STATS)
-        snapshot["solver_calls"] = self._extra_stats["solver_calls"]
-        snapshot["conflicts"] = self._extra_stats["conflicts"]
+        for counter in _WORK_COUNTERS:
+            snapshot[counter] = self._extra_stats[counter]
         for holder in (self._engine, self._unroller):
             if holder is None:
                 continue
             stats = holder.stats()
-            snapshot["solver_calls"] += stats["solver_calls"]
-            snapshot["conflicts"] += stats["conflicts"]
+            for counter in _WORK_COUNTERS:
+                snapshot[counter] += stats[counter]
             snapshot["cnf_clauses"] += stats["cnf_clauses"]
         return snapshot
 
@@ -284,8 +309,8 @@ class DesignWorkContext:
             # fold it into this context's accounting so chunk deltas (and
             # therefore the report's solver telemetry) cover it.
             canonical_stats = canonical.stats_snapshot()
-            self._extra_stats["solver_calls"] += canonical_stats["solver_calls"]
-            self._extra_stats["conflicts"] += canonical_stats["conflicts"]
+            for counter in _WORK_COUNTERS:
+                self._extra_stats[counter] += canonical_stats[counter]
         if not self._config.simplify:
             _clear_preprocess_telemetry(result.outcome.result)
         return result
@@ -457,11 +482,11 @@ class DesignWorkContext:
             if stop_on_failure and not result.outcome.holds:
                 break
         after = self.stats_snapshot()
-        stats = {
+        stats: Dict[str, object] = {
             "backend": self.backend_name(),
-            "solver_calls": after["solver_calls"] - before["solver_calls"],
-            "conflicts": after["conflicts"] - before["conflicts"],
             "cnf_clauses": after["cnf_clauses"],
             "elapsed_s": _time.perf_counter() - started,
         }
+        for counter in _WORK_COUNTERS:
+            stats[counter] = after[counter] - before[counter]
         return results, stats

@@ -129,6 +129,8 @@ class IpcEngine:
         simplify: bool = False,
         sim_patterns: int = DEFAULT_PATTERNS,
         fraig_rounds: int = 1,
+        inprocess: bool = True,
+        sim_backend: str = "auto",
     ) -> None:
         self._module = module
         self._encoder = TransitionEncoder(module)
@@ -148,6 +150,15 @@ class IpcEngine:
         self._sim_patterns = sim_patterns
         self._fraig_rounds = fraig_rounds
         self._preprocessor: Optional[Preprocessor] = None
+        # Inprocessing between checks: after every SAT-settled check the
+        # persistent context vivifies its clauses and eliminates dead
+        # per-check miter variables at level 0, keeping the shared clause
+        # database from growing monotonically over hundreds of checks.
+        self._inprocess = inprocess
+        self._sim_backend = sim_backend
+        self._inprocess_runs = 0
+        self._inprocess_removed = 0
+        self._inprocess_eliminated = 0
 
     @property
     def module(self) -> Module:
@@ -173,9 +184,15 @@ class IpcEngine:
             "backend": context.backend_name,
             "solver_calls": context.solve_calls,
             "conflicts": context.cumulative_conflicts,
+            "restarts": context.cumulative_restarts,
+            "learned_clauses": context.cumulative_learned_clauses,
+            "deleted_clauses": context.cumulative_deleted_clauses,
             "cnf_vars": context.num_vars,
             "cnf_clauses": context.num_clauses,
             "aig_nodes": self._encoder.aig.num_nodes,
+            "inprocess_runs": self._inprocess_runs,
+            "inprocess_removed_clauses": self._inprocess_removed,
+            "inprocess_eliminated_vars": self._inprocess_eliminated,
         }
 
     # ------------------------------------------------------------------ #
@@ -276,6 +293,7 @@ class IpcEngine:
                 self._context,
                 sim_patterns=self._sim_patterns,
                 fraig_rounds=self._fraig_rounds,
+                sim_backend=self._sim_backend,
             )
         return self._preprocessor
 
@@ -338,8 +356,23 @@ class IpcEngine:
                 result.cex = self._build_counterexample(
                     prepared.prop, prepared.frames, prepared.obligations, model_values, prepared.window
                 )
+            if self._inprocess:
+                self._run_inprocessing()
         result.runtime_seconds = prepared.prepare_seconds + (_time.perf_counter() - started)
         return result
+
+    def _run_inprocessing(self) -> None:
+        """Simplify the persistent solver context after a SAT-settled check.
+
+        Runs strictly between checks (the solver is back at level 0, the
+        model of the finished check has already been extracted), so clause
+        vivification and elimination of dead per-check miter variables can
+        never perturb a verdict — only the formula the *next* check lands on.
+        """
+        stats = self._context.inprocess()
+        self._inprocess_runs += 1
+        self._inprocess_removed += int(stats.get("removed_clauses", 0))
+        self._inprocess_eliminated += len(stats.get("eliminated") or [])
 
     # ------------------------------------------------------------------ #
     # Assumptions

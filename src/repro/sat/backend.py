@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import importlib.util
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import SolverError
 from repro.sat.solver import SatResult, SatSolver
@@ -81,6 +81,48 @@ class SatBackend(ABC):
     def solve_calls(self) -> int:
         """Number of solve calls made against this backend."""
 
+    # -------------------------------------------------------------- #
+    # Optional capabilities (no-op defaults for engines without them)
+    # -------------------------------------------------------------- #
+
+    def inprocess(
+        self,
+        candidate_vars: Optional[Iterable[int]] = None,
+        max_vivify: int = 100,
+        max_occurrences: int = 10,
+    ) -> Dict[str, object]:
+        """Simplify the stored formula between checks (vivification / BVE).
+
+        Backends without inprocessing support return an empty stats dict and
+        eliminate nothing, so callers may invoke this unconditionally.  The
+        returned ``"eliminated"`` entry lists variables the backend removed
+        from the formula; callers that cache CNF encodings must stop reusing
+        those variables.
+        """
+        del candidate_vars, max_vivify, max_occurrences
+        return {
+            "vivify_checked": 0,
+            "vivified": 0,
+            "removed_clauses": 0,
+            "eliminated": [],
+            "resolvents": 0,
+        }
+
+    @property
+    def total_restarts(self) -> int:
+        """Restarts accumulated over every solve call (0 when untracked)."""
+        return 0
+
+    @property
+    def total_learned_clauses(self) -> int:
+        """Clauses learned over the backend's lifetime (0 when untracked)."""
+        return 0
+
+    @property
+    def total_deleted_clauses(self) -> int:
+        """Learned clauses deleted by reduction (0 when untracked)."""
+        return 0
+
 
 class PythonCdclBackend(SatBackend):
     """The bundled pure-Python CDCL solver (:class:`repro.sat.solver.SatSolver`).
@@ -91,8 +133,22 @@ class PythonCdclBackend(SatBackend):
 
     name = "python"
 
-    def __init__(self) -> None:
-        self._solver = SatSolver()
+    def __init__(
+        self,
+        minimize: bool = True,
+        reduce_base: int = 2000,
+        reduce_increment: int = 300,
+    ) -> None:
+        self._solver = SatSolver(
+            minimize=minimize,
+            reduce_base=reduce_base,
+            reduce_increment=reduce_increment,
+        )
+
+    @property
+    def solver(self) -> SatSolver:
+        """The wrapped solver (exposed for tests and diagnostics)."""
+        return self._solver
 
     def add_clause(self, literals: Iterable[int]) -> None:
         self._solver.add_clause(literals)
@@ -123,6 +179,30 @@ class PythonCdclBackend(SatBackend):
     def solve_calls(self) -> int:
         return self._solver.solve_calls
 
+    def inprocess(
+        self,
+        candidate_vars: Optional[Iterable[int]] = None,
+        max_vivify: int = 100,
+        max_occurrences: int = 10,
+    ) -> Dict[str, object]:
+        return self._solver.inprocess(
+            candidate_vars=candidate_vars,
+            max_vivify=max_vivify,
+            max_occurrences=max_occurrences,
+        )
+
+    @property
+    def total_restarts(self) -> int:
+        return self._solver.total_restarts
+
+    @property
+    def total_learned_clauses(self) -> int:
+        return self._solver.total_learned_clauses
+
+    @property
+    def total_deleted_clauses(self) -> int:
+        return self._solver.total_deleted_clauses
+
 
 class PySatBackend(SatBackend):
     """Backend over an installed `python-sat` solver (incremental mode).
@@ -148,7 +228,7 @@ class PySatBackend(SatBackend):
         self._num_clauses = 0
         self._solve_calls = 0
         # accum_stats() is cumulative; snapshots make SatResult per-call.
-        self._stats_base = {"conflicts": 0, "decisions": 0, "propagations": 0}
+        self._stats_base = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
 
     def add_clause(self, literals: Iterable[int]) -> None:
         clause = list(literals)
@@ -186,6 +266,7 @@ class PySatBackend(SatBackend):
             conflicts=max(0, self._stats_base["conflicts"] - base["conflicts"]),
             decisions=max(0, self._stats_base["decisions"] - base["decisions"]),
             propagations=max(0, self._stats_base["propagations"] - base["propagations"]),
+            restarts=max(0, self._stats_base["restarts"] - base["restarts"]),
         )
         if satisfiable:
             model = self._solver.get_model() or []
@@ -208,6 +289,11 @@ class PySatBackend(SatBackend):
     @property
     def solve_calls(self) -> int:
         return self._solve_calls
+
+    @property
+    def total_restarts(self) -> int:
+        stats = self._solver.accum_stats() or {}
+        return int(stats.get("restarts", 0))
 
 
 # ---------------------------------------------------------------------- #

@@ -1,9 +1,24 @@
 """A CDCL SAT solver in pure Python.
 
 The solver implements the standard modern architecture: two-watched-literal
-propagation, first-UIP conflict analysis with clause learning, VSIDS-style
-activity-based branching with phase saving, and Luby restarts.  Literals use
-the DIMACS convention (non-zero signed integers, variable indices start at 1).
+propagation with blocking literals, first-UIP conflict analysis with
+recursive clause minimization, LBD-tiered clause learning with periodic
+reduction of the learned tier, VSIDS-style activity-based branching with
+phase saving, and Luby restarts.  Literals use the DIMACS convention
+(non-zero signed integers, variable indices start at 1).
+
+Clause storage uses *stable handles*: watch lists and reason pointers hold
+:class:`Clause` objects, never positional indices, so deleting learned
+clauses (or original clauses during inprocessing) cannot invalidate any
+other reference — deletion just marks the clause and watch lists drop it
+lazily on their next visit.
+
+Between solve calls, the owner may run *inprocessing* at decision level 0
+(:meth:`SatSolver.inprocess`): clause vivification shortens original
+clauses by bounded unit propagation, and bounded variable elimination
+resolves low-occurrence variables out of the formula entirely (with model
+reconstruction, so satisfying assignments still extend to the eliminated
+variables and satisfy the original clauses).
 
 The property checker only hands the solver comparatively small formulas —
 structural hashing discharges identical logic cones before CNF generation —
@@ -14,7 +29,7 @@ the paper's evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SolverError
 
@@ -23,9 +38,10 @@ from repro.errors import SolverError
 class SatResult:
     """Outcome of a solver call.
 
-    The ``conflicts``/``decisions``/``propagations`` counters cover *this*
-    call only — a persistent solver accumulates totals across calls, exposed
-    via :attr:`SatSolver.total_conflicts` and friends.
+    The ``conflicts``/``decisions``/``propagations``/``restarts``/
+    ``learned_clauses``/``deleted_clauses`` counters cover *this* call only —
+    a persistent solver accumulates totals across calls, exposed via
+    :attr:`SatSolver.total_conflicts` and friends.
     """
 
     satisfiable: bool
@@ -33,9 +49,34 @@ class SatResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
 
     def value(self, variable: int) -> bool:
         return self.model.get(variable, False)
+
+
+class Clause:
+    """One clause of the solver's database — the *stable handle*.
+
+    Watch lists and reason pointers reference the object itself, so learned
+    clause deletion never invalidates anything: a deleted clause keeps its
+    identity, is skipped (and dropped) by propagation, and is garbage
+    collected once the last watch entry naming it is purged.
+    """
+
+    __slots__ = ("lits", "learned", "lbd", "deleted")
+
+    def __init__(self, lits: List[int], learned: bool = False, lbd: int = 0) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.lbd = lbd
+        self.deleted = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "learned" if self.learned else "original"
+        return f"Clause({self.lits}, {kind}, lbd={self.lbd})"
 
 
 def _luby(index: int) -> int:
@@ -51,19 +92,35 @@ def _luby(index: int) -> int:
     return 1 << exponent
 
 
+#: Learned clauses with an LBD at or below this are "glue" clauses: they
+#: connect few decision levels, propagate often, and are never deleted.
+GLUE_LBD = 2
+
+
 class SatSolver:
     """CDCL solver with incremental clause addition and assumption support."""
 
     _UNASSIGNED = -1
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        minimize: bool = True,
+        reduce_base: int = 2000,
+        reduce_increment: int = 300,
+    ) -> None:
         self._num_vars = 0
-        self._clauses: List[List[int]] = []
-        self._watches: Dict[int, List[int]] = {}
+        #: Original (problem) clause tier.
+        self._clauses: List[Clause] = []
+        #: Learned clause tier (live clauses only; reduction compacts it).
+        self._learned: List[Clause] = []
+        #: watch entry = (clause, blocker): when the blocker literal is
+        #: already true the clause is satisfied and never touched.
+        self._watches: Dict[int, List[Tuple[Clause, int]]] = {}
         self._assigns: List[int] = [self._UNASSIGNED]  # index 0 unused
         self._levels: List[int] = [0]
-        self._reasons: List[Optional[int]] = [None]
+        self._reasons: List[Optional[Clause]] = [None]
         self._phases: List[bool] = [False]
+        self._eliminated: List[bool] = [False]
         self._activity: List[float] = [0.0]
         self._activity_increment = 1.0
         self._activity_decay = 0.95
@@ -78,9 +135,26 @@ class SatSolver:
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+        self._restarts = 0
+        self._learned_total = 0
+        self._deleted_total = 0
         self._solve_calls = 0
-        self._call_base = (0, 0, 0)  # counter snapshot at solve() entry
+        self._call_base = (0, 0, 0, 0, 0, 0)  # counter snapshot at solve() entry
         self._unsat = False
+        # Conflict-clause minimization (recursive self-subsumption).
+        self._minimize = minimize
+        # Learned-tier reduction: fires when the live learned count reaches
+        # reduce_base + reductions * reduce_increment, so the DB stays
+        # bounded across a long assumption-check sequence while slowly
+        # granting a busier formula more room.
+        self._reduce_base = reduce_base
+        self._reduce_increment = reduce_increment
+        self._reductions = 0
+        # Vivification round-robin cursor (persists across inprocess calls).
+        self._vivify_head = 0
+        # Variable-elimination records for model reconstruction:
+        # (variable, clauses-that-mentioned-it) in elimination order.
+        self._elim_stack: List[Tuple[int, List[List[int]]]] = []
 
     # ------------------------------------------------------------------ #
     # Problem construction
@@ -92,6 +166,7 @@ class SatSolver:
         self._levels.append(0)
         self._reasons.append(None)
         self._phases.append(False)
+        self._eliminated.append(False)
         self._activity.append(0.0)
         self._heap_index.append(-1)
         self._heap_insert(self._num_vars)
@@ -110,6 +185,13 @@ class SatSolver:
             if literal == 0:
                 raise SolverError("literal 0 is not allowed")
             self.ensure_vars(abs(literal))
+        if self._elim_stack:
+            for literal in clause:
+                if self._eliminated[abs(literal)]:
+                    raise SolverError(
+                        f"variable {abs(literal)} was eliminated by inprocessing "
+                        f"and cannot appear in new clauses"
+                    )
         # Tautology check.
         for first, second in zip(clause, clause[1:]):
             if first == -second:
@@ -136,13 +218,31 @@ class SatSolver:
                     raise SolverError("unit clauses must be added at decision level 0")
                 self._enqueue(literal, reason=None)
             return
-        index = len(self._clauses)
-        self._clauses.append(clause)
-        self._watch(clause[0], index)
-        self._watch(clause[1], index)
+        self._attach_new(clause, learned=False)
 
-    def _watch(self, literal: int, clause_index: int) -> None:
-        self._watches.setdefault(-literal, []).append(clause_index)
+    def _attach_new(self, lits: List[int], learned: bool, lbd: int = 0) -> Clause:
+        clause = Clause(lits, learned=learned, lbd=lbd)
+        if learned:
+            self._learned.append(clause)
+        else:
+            self._clauses.append(clause)
+        self._watch(lits[0], clause, lits[1])
+        self._watch(lits[1], clause, lits[0])
+        return clause
+
+    def _watch(self, literal: int, clause: Clause, blocker: int) -> None:
+        self._watches.setdefault(-literal, []).append((clause, blocker))
+
+    def _detach(self, clause: Clause) -> None:
+        """Remove the clause's two watch entries eagerly (inprocessing only)."""
+        for literal in clause.lits[:2]:
+            watch_list = self._watches.get(-literal)
+            if not watch_list:
+                continue
+            for position, entry in enumerate(watch_list):
+                if entry[0] is clause:
+                    del watch_list[position]
+                    break
 
     # ------------------------------------------------------------------ #
     # Assignment helpers
@@ -158,7 +258,7 @@ class SatSolver:
         value = assigned
         return value if literal > 0 else 1 - value
 
-    def _enqueue(self, literal: int, reason: Optional[int]) -> bool:
+    def _enqueue(self, literal: int, reason: Optional[Clause]) -> bool:
         value = self._literal_value(literal)
         if value != self._UNASSIGNED:
             return value == 1
@@ -174,17 +274,20 @@ class SatSolver:
     # Boolean constraint propagation
     # ------------------------------------------------------------------ #
 
-    def _propagate(self) -> Optional[int]:
-        """Propagate pending assignments; return a conflicting clause index or None.
+    def _propagate(self) -> Optional[Clause]:
+        """Propagate pending assignments; return a conflicting clause or None.
 
         This is the solver's innermost loop, so attribute lookups are
         hoisted into locals and the per-literal watch list is rebuilt
-        *lazily*: as long as no watch moves to a replacement literal, the
-        existing list object is kept as-is instead of being copied element
-        by element on every propagation.
+        *lazily*: as long as no watch moves (and no deleted clause is
+        purged), the existing list object is kept as-is instead of being
+        copied element by element on every propagation.  Every watch entry
+        carries a *blocking literal* — a clause literal that was true when
+        the watch was placed; while it is still true the clause is
+        satisfied and the entry is skipped without touching the clause at
+        all, which is the common case on long watch lists.
         """
         watches = self._watches
-        clauses = self._clauses
         trail = self._trail
         literal_value = self._literal_value
         enqueue = self._enqueue
@@ -196,35 +299,51 @@ class SatSolver:
             if not watch_list:
                 continue
             # Created on the first moved watch; None means "list unchanged".
-            new_watch_list: Optional[List[int]] = None
-            conflict: Optional[int] = None
+            new_watch_list: Optional[List[Tuple[Clause, int]]] = None
+            conflict: Optional[Clause] = None
             false_literal = -literal
-            for position, clause_index in enumerate(watch_list):
-                clause = clauses[clause_index]
-                # Ensure the false literal is at position 1.
-                if clause[0] == false_literal:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if literal_value(first) == 1:
+            for position, entry in enumerate(watch_list):
+                clause, blocker = entry
+                if clause.deleted:
+                    # Lazy purge of a reduced/eliminated clause.
+                    if new_watch_list is None:
+                        new_watch_list = watch_list[:position]
+                    continue
+                if literal_value(blocker) == 1:
                     if new_watch_list is not None:
-                        new_watch_list.append(clause_index)
+                        new_watch_list.append(entry)
+                    continue
+                lits = clause.lits
+                # Ensure the false literal is at position 1.
+                if lits[0] == false_literal:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if first != blocker and literal_value(first) == 1:
+                    entry = (clause, first)
+                    if new_watch_list is None:
+                        watch_list[position] = entry
+                    else:
+                        new_watch_list.append(entry)
                     continue
                 # Look for a replacement watch.
                 replaced = False
-                for k in range(2, len(clause)):
-                    if literal_value(clause[k]) != 0:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches.setdefault(-clause[1], []).append(clause_index)
+                for k in range(2, len(lits)):
+                    if literal_value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        watches.setdefault(-lits[1], []).append((clause, first))
                         replaced = True
                         break
                 if replaced:
                     if new_watch_list is None:
                         new_watch_list = watch_list[:position]
                     continue
-                if new_watch_list is not None:
-                    new_watch_list.append(clause_index)
-                if not enqueue(first, reason=clause_index):
-                    conflict = clause_index
+                entry = (clause, first)
+                if new_watch_list is None:
+                    watch_list[position] = entry
+                else:
+                    new_watch_list.append(entry)
+                if not enqueue(first, reason=clause):
+                    conflict = clause
                     if new_watch_list is not None:
                         new_watch_list.extend(watch_list[position + 1 :])
                     break
@@ -310,21 +429,33 @@ class SatSolver:
             self._heap_sift_down(0)
         return top
 
-    def _analyze(self, conflict_index: int) -> tuple[List[int], int]:
+    def _analyze(self, conflict: Clause) -> Tuple[List[int], int, int]:
+        """First-UIP conflict analysis; returns (clause, backtrack level, LBD).
+
+        The learned clause is minimized by recursive self-subsumption
+        (MiniSat-style): a literal whose reason antecedents are all already
+        in the clause (or recursively redundant at already-present decision
+        levels) contributes nothing and is dropped.  Smaller learned clauses
+        propagate earlier and subsume more — the direct mechanism behind the
+        lower conflict counts the benchmark floor tracks.
+
+        The LBD (literal block distance — number of distinct decision levels
+        in the clause) is computed here, *before* backtracking invalidates
+        the level array, and tags the learned clause for tier reduction.
+        """
         learned: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._num_vars + 1)
         counter = 0
         literal = 0
         index = len(self._trail) - 1
-        clause_index: Optional[int] = conflict_index
+        clause: Optional[Clause] = conflict
         current_level = self._decision_level()
 
         while True:
-            if clause_index is None:
+            if clause is None:
                 raise SolverError("conflict analysis reached a decision without reason")
-            clause = self._clauses[clause_index]
-            start = 1 if literal != 0 else 0
-            for clause_literal in clause[start:] if literal != 0 else clause:
+            lits = clause.lits
+            for clause_literal in lits[1:] if literal != 0 else lits:
                 variable = abs(clause_literal)
                 if clause_literal == literal:
                     continue
@@ -345,21 +476,79 @@ class SatSolver:
             seen[abs(literal)] = False
             if counter == 0:
                 break
-            clause_index = self._reasons[abs(literal)]
+            clause = self._reasons[abs(literal)]
         learned[0] = -literal
 
+        if self._minimize and len(learned) > 1:
+            learned = self._minimize_learned(learned, seen)
+
+        levels = self._levels
+        lbd = len({levels[abs(lit)] for lit in learned})
+
         if len(learned) == 1:
-            return learned, 0
+            return learned, 0, lbd
         # Backtrack level: second highest level in the learned clause.
         backtrack_level = 0
         swap_index = 1
         for position in range(1, len(learned)):
-            level = self._levels[abs(learned[position])]
+            level = levels[abs(learned[position])]
             if level > backtrack_level:
                 backtrack_level = level
                 swap_index = position
         learned[1], learned[swap_index] = learned[swap_index], learned[1]
-        return learned, backtrack_level
+        return learned, backtrack_level, lbd
+
+    def _minimize_learned(self, learned: List[int], seen: List[bool]) -> List[int]:
+        """Drop recursively redundant literals from a first-UIP clause.
+
+        ``seen`` is the analysis marking: True exactly for the variables of
+        ``learned[1:]``.  Redundancy exploration marks further variables;
+        marks from failed explorations are undone, successful ones are kept
+        (they prove later literals redundant faster).  ``seen`` is local to
+        this conflict, so no global cleanup pass is needed.
+        """
+        levels = self._levels
+        abstract_levels = 0
+        for lit in learned[1:]:
+            abstract_levels |= 1 << (levels[abs(lit)] & 31)
+        toclear: List[int] = []
+        kept = [learned[0]]
+        for lit in learned[1:]:
+            if self._reasons[abs(lit)] is None or not self._lit_redundant(
+                lit, seen, abstract_levels, toclear
+            ):
+                kept.append(lit)
+        return kept
+
+    def _lit_redundant(
+        self, literal: int, seen: List[bool], abstract_levels: int, toclear: List[int]
+    ) -> bool:
+        levels = self._levels
+        reasons = self._reasons
+        stack = [literal]
+        top = len(toclear)
+        while stack:
+            reason = reasons[abs(stack.pop())]
+            assert reason is not None
+            for antecedent in reason.lits[1:]:
+                variable = abs(antecedent)
+                if seen[variable] or levels[variable] == 0:
+                    continue
+                if (
+                    reasons[variable] is None
+                    or not (1 << (levels[variable] & 31)) & abstract_levels
+                ):
+                    # Reaches a decision/assumption, or a level no clause
+                    # literal lives on: not redundant.  Undo this
+                    # exploration's marks.
+                    for undone in toclear[top:]:
+                        seen[undone] = False
+                    del toclear[top:]
+                    return False
+                seen[variable] = True
+                stack.append(antecedent)
+                toclear.append(variable)
+        return True
 
     def _backtrack(self, level: int) -> None:
         if self._decision_level() <= level:
@@ -374,15 +563,54 @@ class SatSolver:
         del self._trail_limits[level:]
         self._propagation_head = len(self._trail)
 
-    def _learn(self, clause: List[int]) -> None:
+    def _learn(self, clause: List[int], lbd: int) -> None:
+        self._learned_total += 1
         if len(clause) == 1:
             self._enqueue(clause[0], reason=None)
             return
-        index = len(self._clauses)
-        self._clauses.append(clause)
-        self._watch(clause[0], index)
-        self._watch(clause[1], index)
-        self._enqueue(clause[0], reason=index)
+        handle = self._attach_new(clause, learned=True, lbd=lbd)
+        self._enqueue(clause[0], reason=handle)
+
+    # ------------------------------------------------------------------ #
+    # Learned-tier reduction
+    # ------------------------------------------------------------------ #
+
+    def _reduce_limit(self) -> int:
+        return self._reduce_base + self._reductions * self._reduce_increment
+
+    def reduce_learned(self) -> int:
+        """Delete the worst half of the deletable learned clauses.
+
+        Kept unconditionally: *glue* clauses (LBD <= ``GLUE_LBD``), binary
+        clauses, and *locked* clauses (currently the reason of an assigned
+        variable — identified through the stable handle itself, so no index
+        bookkeeping can go stale).  The deletable rest is ranked by
+        (LBD, size, age) and the worse half is marked deleted; watch lists
+        purge the marks lazily.  Returns the number of clauses deleted.
+        """
+        reasons = self._reasons
+        keep: List[Clause] = []
+        deletable: List[Clause] = []
+        for clause in self._learned:
+            if clause.deleted:
+                continue
+            lits = clause.lits
+            locked = reasons[abs(lits[0])] is clause
+            if locked or clause.lbd <= GLUE_LBD or len(lits) <= 2:
+                keep.append(clause)
+            else:
+                deletable.append(clause)
+        # Stable sort: among equal (lbd, size) the *older* clause sorts
+        # first and survives — deterministic without tracking timestamps.
+        deletable.sort(key=lambda clause: (clause.lbd, len(clause.lits)))
+        cut = len(deletable) // 2
+        for clause in deletable[cut:]:
+            clause.deleted = True
+        deleted = len(deletable) - cut
+        self._deleted_total += deleted
+        self._learned = keep + deletable[:cut]
+        self._reductions += 1
+        return deleted
 
     # ------------------------------------------------------------------ #
     # Branching
@@ -392,7 +620,7 @@ class SatSolver:
         # Assigned variables are discarded lazily; _backtrack re-inserts them.
         while self._heap:
             variable = self._heap_pop()
-            if self._assigns[variable] == self._UNASSIGNED:
+            if self._assigns[variable] == self._UNASSIGNED and not self._eliminated[variable]:
                 return variable
         return None
 
@@ -415,8 +643,24 @@ class SatSolver:
         state instead of starting over.
         """
         assumptions = list(assumptions or [])
+        for literal in assumptions:
+            if literal == 0:
+                raise SolverError("literal 0 is not allowed")
+            self.ensure_vars(abs(literal))
+            if self._eliminated[abs(literal)]:
+                raise SolverError(
+                    f"assumption on variable {abs(literal)}, which inprocessing "
+                    f"eliminated; re-encode it as a fresh variable instead"
+                )
         self._solve_calls += 1
-        self._call_base = (self._conflicts, self._decisions, self._propagations)
+        self._call_base = (
+            self._conflicts,
+            self._decisions,
+            self._propagations,
+            self._restarts,
+            self._learned_total,
+            self._deleted_total,
+        )
         if self._unsat:
             return self._result(False)
         self._backtrack(0)
@@ -442,29 +686,31 @@ class SatSolver:
                     # Conflict under assumptions only: UNSAT under assumptions.
                     self._backtrack(0)
                     return self._result(False)
-                learned, backtrack_level = self._analyze(conflict)
+                learned, backtrack_level, lbd = self._analyze(conflict)
                 self._backtrack(max(backtrack_level, len(assumptions)))
                 if backtrack_level < len(assumptions):
                     # The learned clause forces a flip below the assumption levels.
                     self._backtrack(0)
                     if len(learned) == 1:
+                        self._learned_total += 1
                         self.add_clause(learned)
                         if self._unsat:
                             return self._result(False)
                         continue
-                    index = len(self._clauses)
-                    self._clauses.append(learned)
-                    self._watch(learned[0], index)
-                    self._watch(learned[1], index)
+                    self._learned_total += 1
+                    self._attach_new(learned, learned=True, lbd=lbd)
                     continue
-                self._learn(learned)
+                self._learn(learned, lbd)
                 self._decay_activities()
+                if len(self._learned) >= self._reduce_limit():
+                    self.reduce_learned()
                 continue
 
             if conflicts_at_restart >= restart_budget:
                 restart_index += 1
                 restart_budget = 64 * _luby(restart_index)
                 conflicts_at_restart = 0
+                self._restarts += 1
                 self._backtrack(len(assumptions))
 
             # Apply pending assumptions as pseudo-decisions.
@@ -496,14 +742,277 @@ class SatSolver:
             for variable in range(1, self._num_vars + 1):
                 value = self._assigns[variable]
                 model[variable] = (value == 1) if value != self._UNASSIGNED else self._phases[variable]
-        conflicts_base, decisions_base, propagations_base = self._call_base
+            self._reconstruct_model(model)
+        base = self._call_base
         return SatResult(
             satisfiable=satisfiable,
             model=model,
-            conflicts=self._conflicts - conflicts_base,
-            decisions=self._decisions - decisions_base,
-            propagations=self._propagations - propagations_base,
+            conflicts=self._conflicts - base[0],
+            decisions=self._decisions - base[1],
+            propagations=self._propagations - base[2],
+            restarts=self._restarts - base[3],
+            learned_clauses=self._learned_total - base[4],
+            deleted_clauses=self._deleted_total - base[5],
         )
+
+    def _reconstruct_model(self, model: Dict[int, bool]) -> None:
+        """Extend a model over eliminated variables (solution restoration).
+
+        Processed in reverse elimination order: each variable's saved
+        occurrence clauses mention only variables that were still live when
+        it was eliminated, so every other literal already has a final model
+        value.  If some saved clause is satisfied by no other literal, the
+        eliminated variable is set to satisfy it; the resolvents added at
+        elimination time guarantee no two saved clauses pull in opposite
+        directions.
+        """
+        for variable, clauses in reversed(self._elim_stack):
+            value = self._phases[variable]
+            for lits in clauses:
+                satisfied = False
+                own_literal = 0
+                for literal in lits:
+                    other = abs(literal)
+                    if other == variable:
+                        own_literal = literal
+                        if value == (literal > 0):
+                            satisfied = True
+                            break
+                    elif model.get(other, False) == (literal > 0):
+                        satisfied = True
+                        break
+                if not satisfied and own_literal != 0:
+                    value = own_literal > 0
+            model[variable] = value
+
+    # ------------------------------------------------------------------ #
+    # Inprocessing: vivification + bounded variable elimination (level 0)
+    # ------------------------------------------------------------------ #
+
+    def inprocess(
+        self,
+        candidate_vars: Optional[Iterable[int]] = None,
+        max_vivify: int = 100,
+        max_occurrences: int = 10,
+    ) -> Dict[str, object]:
+        """Simplify the formula between solve calls, at decision level 0.
+
+        Two bounded passes:
+
+        * **clause vivification** — up to ``max_vivify`` original clauses
+          (round-robin across calls) are re-derived by assuming their
+          literals false one by one under unit propagation; a conflict or an
+          implied literal proves a shorter clause, which replaces the
+          original.  Clauses satisfied at level 0 are removed outright.
+        * **bounded variable elimination** — each unassigned variable in
+          ``candidate_vars`` whose occurrence count is at most
+          ``max_occurrences`` per polarity is resolved out when the
+          non-tautological resolvents do not outnumber the clauses removed.
+          Eliminated variables must never be referenced again (``solve``
+          and ``add_clause`` enforce this); callers that cache CNF encodings
+          must invalidate the mappings of eliminated variables.
+
+        Returns a stats dict; ``"eliminated"`` lists the eliminated
+        variables so the caller can invalidate its encodings.
+        """
+        stats: Dict[str, object] = {
+            "vivify_checked": 0,
+            "vivified": 0,
+            "removed_clauses": 0,
+            "eliminated": [],
+            "resolvents": 0,
+        }
+        if self._unsat:
+            return stats
+        if self._decision_level() != 0:
+            raise SolverError("inprocessing requires decision level 0")
+        if self._propagate() is not None:
+            self._unsat = True
+            return stats
+        self._vivify_round(max_vivify, stats)
+        if not self._unsat and candidate_vars is not None:
+            self._eliminate_round(candidate_vars, max_occurrences, stats)
+        # Compact the original tier: drop clauses deleted by either pass.
+        self._clauses = [clause for clause in self._clauses if not clause.deleted]
+        return stats
+
+    def _vivify_round(self, max_vivify: int, stats: Dict[str, object]) -> None:
+        total = len(self._clauses)
+        if total == 0:
+            return
+        checked = 0
+        position = self._vivify_head % total
+        while checked < min(max_vivify, total):
+            clause = self._clauses[position % total]
+            position += 1
+            checked += 1
+            if clause.deleted:
+                continue
+            if not self._vivify_clause(clause, stats):
+                break  # formula became UNSAT
+            if self._unsat:
+                break
+        self._vivify_head = position % max(1, len(self._clauses))
+        stats["vivify_checked"] = int(stats["vivify_checked"]) + checked
+
+    def _vivify_clause(self, clause: Clause, stats: Dict[str, object]) -> bool:
+        """Shorten one clause by bounded unit propagation; False on UNSAT."""
+        literal_value = self._literal_value
+        # Level-0 simplification first: satisfied clauses go away entirely,
+        # falsified literals are dropped before any probing.
+        lits = [lit for lit in clause.lits if literal_value(lit) != 0]
+        if any(literal_value(lit) == 1 for lit in lits):
+            clause.deleted = True
+            self._detach(clause)
+            stats["removed_clauses"] = int(stats["removed_clauses"]) + 1
+            return True
+        # Detach while probing: a clause must never participate in deriving
+        # its own replacement (that would be circular and unsound).
+        self._detach(clause)
+        self._trail_limits.append(len(self._trail))
+        new_lits: List[int] = []
+        for lit in lits:
+            value = literal_value(lit)
+            if value == 1:
+                # The negated prefix implies this literal: the clause
+                # shortens to prefix + [lit].
+                new_lits.append(lit)
+                break
+            if value == 0:
+                # The negated prefix implies NOT lit: lit is redundant.
+                continue
+            new_lits.append(lit)
+            self._enqueue(-lit, reason=None)
+            if self._propagate() is not None:
+                # Negating the prefix is contradictory: the prefix itself
+                # is an implied clause.
+                break
+        self._backtrack(0)
+        if len(new_lits) < len(clause.lits):
+            stats["vivified"] = int(stats["vivified"]) + 1
+        if not new_lits:
+            self._unsat = True
+            return False
+        if len(new_lits) == 1:
+            clause.deleted = True
+            stats["removed_clauses"] = int(stats["removed_clauses"]) + 1
+            self._enqueue(new_lits[0], reason=None)
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        clause.lits = new_lits
+        self._watch(new_lits[0], clause, new_lits[1])
+        self._watch(new_lits[1], clause, new_lits[0])
+        return True
+
+    def _eliminate_round(
+        self,
+        candidate_vars: Iterable[int],
+        max_occurrences: int,
+        stats: Dict[str, object],
+    ) -> None:
+        candidates = sorted(
+            {
+                variable
+                for variable in candidate_vars
+                if 1 <= variable <= self._num_vars and not self._eliminated[variable]
+            }
+        )
+        if not candidates:
+            return
+        candidate_set = set(candidates)
+        occurrences: Dict[int, List[Clause]] = {variable: [] for variable in candidates}
+        for clause in self._clauses:
+            if clause.deleted:
+                continue
+            for literal in clause.lits:
+                variable = abs(literal)
+                if variable in candidate_set:
+                    occurrences[variable].append(clause)
+        eliminated: List[int] = list(stats["eliminated"])  # type: ignore[arg-type]
+        for variable in candidates:
+            if self._unsat:
+                break
+            if self._assigns[variable] != self._UNASSIGNED:
+                continue
+            live = [clause for clause in occurrences[variable] if not clause.deleted]
+            positive = [clause for clause in live if variable in clause.lits]
+            negative = [clause for clause in live if -variable in clause.lits]
+            if len(positive) > max_occurrences or len(negative) > max_occurrences:
+                continue
+            resolvents: List[List[int]] = []
+            growth_bound = len(positive) + len(negative)
+            too_many = False
+            for pos_clause in positive:
+                for neg_clause in negative:
+                    resolvent = self._resolve(pos_clause.lits, neg_clause.lits, variable)
+                    if resolvent is None:
+                        continue  # tautology
+                    resolvents.append(resolvent)
+                    if len(resolvents) > growth_bound:
+                        too_many = True
+                        break
+                if too_many:
+                    break
+            if too_many:
+                continue
+            # Commit: remember the removed clauses for model reconstruction,
+            # delete them, add the resolvents, and retire the variable.
+            saved = [list(clause.lits) for clause in positive + negative]
+            for clause in positive + negative:
+                clause.deleted = True
+                self._detach(clause)
+            stats["removed_clauses"] = int(stats["removed_clauses"]) + len(saved)
+            attached_from = len(self._clauses)
+            for resolvent in resolvents:
+                self.add_clause(resolvent)
+                if self._unsat:
+                    break
+            stats["resolvents"] = int(stats["resolvents"]) + len(resolvents)
+            for clause in self._clauses[attached_from:]:
+                # Keep occurrence lists complete for later candidates: a
+                # missed occurrence would make a later elimination unsound.
+                if clause.deleted:
+                    continue
+                for literal in clause.lits:
+                    other = abs(literal)
+                    if other in candidate_set and other != variable:
+                        occurrences[other].append(clause)
+            self._elim_stack.append((variable, saved))
+            self._eliminated[variable] = True
+            eliminated.append(variable)
+            if not self._unsat and self._propagate() is not None:
+                self._unsat = True
+        # Learned clauses mentioning an eliminated variable are no longer
+        # implied by the reduced formula; drop them (one pass, lazily purged
+        # from watch lists like every other deletion).
+        if eliminated:
+            doomed = set(eliminated) - set(stats["eliminated"])  # type: ignore[arg-type]
+            survivors: List[Clause] = []
+            for clause in self._learned:
+                if clause.deleted:
+                    continue
+                if any(abs(literal) in doomed for literal in clause.lits):
+                    clause.deleted = True
+                else:
+                    survivors.append(clause)
+            self._learned = survivors
+        stats["eliminated"] = eliminated
+
+    @staticmethod
+    def _resolve(
+        positive_lits: List[int], negative_lits: List[int], variable: int
+    ) -> Optional[List[int]]:
+        """The resolvent on ``variable``, or None when it is a tautology."""
+        merged = {lit for lit in positive_lits if lit != variable}
+        for lit in negative_lits:
+            if lit == -variable:
+                continue
+            if -lit in merged:
+                return None
+            merged.add(lit)
+        return sorted(merged, key=abs)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -513,9 +1022,19 @@ class SatSolver:
     def num_vars(self) -> int:
         return self._num_vars
 
+    def is_eliminated(self, variable: int) -> bool:
+        """True when inprocessing eliminated the variable (see :meth:`inprocess`)."""
+        return 1 <= variable <= self._num_vars and self._eliminated[variable]
+
     @property
     def num_clauses(self) -> int:
-        return len(self._clauses)
+        """Size of the working clause database (originals + live learned)."""
+        return len(self._clauses) + len(self._learned)
+
+    @property
+    def live_learned_clauses(self) -> int:
+        """Learned clauses currently alive (the reduction-bounded tier)."""
+        return len(self._learned)
 
     @property
     def solve_calls(self) -> int:
@@ -532,3 +1051,15 @@ class SatSolver:
     @property
     def total_propagations(self) -> int:
         return self._propagations
+
+    @property
+    def total_restarts(self) -> int:
+        return self._restarts
+
+    @property
+    def total_learned_clauses(self) -> int:
+        return self._learned_total
+
+    @property
+    def total_deleted_clauses(self) -> int:
+        return self._deleted_total

@@ -123,9 +123,14 @@ class TestFingerprints:
         (dict(), dict(simplify=False)),
         (dict(), dict(sim_patterns=128)),
         (dict(), dict(fraig_rounds=2)),
+        (dict(), dict(inprocess=False)),
     ]
+    # ``sim_backend`` is execution-only by a stronger argument than the
+    # scheduling knobs: the numpy and Python kernels are bit-identical, so
+    # no record bit can depend on it (tests/test_sim_backends.py).
     _EXECUTION_ONLY_FIELDS = {
         "stop_at_first_failure", "max_class", "jobs", "cache_dir", "use_cache",
+        "sim_backend",
     }
     # Hashed through config_fingerprint's resolved backend_name parameter
     # (never the raw field, which may read "auto"); sensitivity is asserted

@@ -294,12 +294,12 @@ class TestPreprocessEventsAndConfig:
         with pytest.raises(ConfigError, match="sim_patterns"):
             DetectionConfig(sim_patterns=True)
 
-    def test_report_schema_v4_round_trips_preprocess_block(self):
-        from repro.core.report import DetectionReport
+    def test_report_schema_round_trips_preprocess_block(self):
+        from repro.core.report import DetectionReport, SCHEMA_VERSION
 
         report = _audit("RS232-T2400")
         data = report.to_dict()
-        assert data["schema_version"] == 4
+        assert data["schema_version"] == SCHEMA_VERSION
         assert data["preprocess"]["sim_falsified"] > 0
         rebuilt = DetectionReport.from_dict(data)
         assert rebuilt.to_dict() == data

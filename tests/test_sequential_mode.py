@@ -197,7 +197,9 @@ class TestSequentialSessions:
         design = self._design(timebomb_module, golden_module)
         report = DetectionSession(design, DetectionConfig(mode="sequential", depth=5)).run()
         data = json.loads(report.to_json())
-        assert data["schema_version"] == 4
+        from repro.core.report import SCHEMA_VERSION
+
+        assert data["schema_version"] == SCHEMA_VERSION
         rebuilt = DetectionReport.from_dict(data)
         assert rebuilt.to_dict() == report.to_dict()
         outcome = rebuilt.failing_outcome()

@@ -1,0 +1,392 @@
+"""Tests for the CDCL solver internals (repro.sat.solver).
+
+Invariants under test:
+
+* **learned-clause management** — conflict clauses carry LBD tags, the
+  learned tier is reduced once it outgrows its budget (glue/binary/locked
+  clauses survive), and the deleted/learned counters expose it;
+* **stable clause handles** — reducing the database between solve calls
+  never corrupts watch lists or reason pointers, so arbitrary
+  solve -> reduce -> solve-under-assumptions sequences keep agreeing with
+  brute force;
+* **conflict-clause minimization** — recursive self-subsumption never
+  changes an answer and does not increase the conflict count on the
+  pigeonhole family;
+* **inprocessing** — vivification shortens/removes original clauses and
+  bounded variable elimination resolves out cold Tseitin definitions, with
+  model reconstruction covering eliminated variables and any later
+  reference to one failing loudly;
+* a hypothesis fuzz drives one persistent solver through add/solve/
+  assumption/inprocess sequences against a brute-force oracle.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.aig import AIG
+from repro.errors import SolverError
+from repro.sat import PythonCdclBackend, SatSolver, SolverContext
+from repro.sat.solver import GLUE_LBD
+
+from test_sat_backends import brute_force_satisfiable, pigeonhole_clauses
+
+
+def _random_clauses(rng, num_vars, num_clauses, max_width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, max_width)
+        variables = rng.sample(range(1, num_vars + 1), min(width, num_vars))
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return clauses
+
+
+def _satisfies(clauses, model):
+    return all(
+        any(model.get(abs(l), False) == (l > 0) for l in clause) for clause in clauses
+    )
+
+
+class TestLearnedClauseManagement:
+    def test_reduction_deletes_clauses_and_bounds_the_live_tier(self):
+        # A tiny budget forces reduction to fire repeatedly on PH(5).
+        solver = SatSolver(reduce_base=20, reduce_increment=5)
+        for clause in pigeonhole_clauses(5):
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert solver.total_deleted_clauses > 0
+        assert result.deleted_clauses == solver.total_deleted_clauses
+        assert result.learned_clauses == solver.total_learned_clauses
+        # The live tier stays bounded well below everything ever learned.
+        assert solver.live_learned_clauses < solver.total_learned_clauses
+        assert (
+            solver.live_learned_clauses
+            <= solver.total_learned_clauses - solver.total_deleted_clauses
+        )
+
+    def test_glue_and_binary_clauses_survive_reduction(self):
+        solver = SatSolver()
+        for clause in pigeonhole_clauses(4):
+            solver.add_clause(clause)
+        solver.solve()
+        protected = [
+            clause
+            for clause in solver._learned
+            if clause.lbd <= GLUE_LBD or len(clause.lits) <= 2
+        ]
+        solver.reduce_learned()
+        assert all(not clause.deleted for clause in protected)
+
+    def test_restart_counter_advances_on_a_hard_instance(self):
+        solver = SatSolver()
+        for clause in pigeonhole_clauses(5):
+            solver.add_clause(clause)
+        result = solver.solve()
+        # PH(5) needs well over the initial 64-conflict Luby budget.
+        assert result.conflicts > 64
+        assert result.restarts >= 1
+        assert solver.total_restarts == result.restarts
+
+    def test_backend_exposes_the_search_counters(self):
+        backend = PythonCdclBackend(reduce_base=20, reduce_increment=5)
+        for clause in pigeonhole_clauses(5):
+            backend.add_clause(clause)
+        assert not backend.solve().satisfiable
+        assert backend.total_restarts >= 1
+        assert backend.total_learned_clauses > 0
+        assert backend.total_deleted_clauses > 0
+
+
+class TestStableClauseHandles:
+    """Database reduction must never invalidate watches or reasons."""
+
+    def test_solve_reduce_solve_under_assumptions(self):
+        # Regression for index-coupled clause storage: deleting learned
+        # clauses while reason/watch references are index-based corrupts
+        # later assumption solves.  Stable handles make the sequence safe.
+        solver = SatSolver(reduce_base=10, reduce_increment=2)
+        guard = 21
+        clauses = [c + [-guard] for c in pigeonhole_clauses(4)]
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert not solver.solve(assumptions=[guard]).satisfiable
+        deleted = solver.reduce_learned()
+        assert deleted >= 0  # explicit mid-sequence reduction
+        # The guarded formula stays UNSAT under the guard and SAT without.
+        assert not solver.solve(assumptions=[guard]).satisfiable
+        assert solver.solve(assumptions=[-guard]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_randomized_solve_reduce_solve_agrees_with_brute_force(self):
+        rng = random.Random(0x5EED)
+        for _ in range(25):
+            num_vars = rng.randint(3, 6)
+            solver = SatSolver(reduce_base=5, reduce_increment=1)
+            clauses = _random_clauses(rng, num_vars, rng.randint(4, 18))
+            for clause in clauses:
+                solver.add_clause(clause)
+            for _ in range(3):
+                expected = brute_force_satisfiable(num_vars, clauses)
+                result = solver.solve()
+                assert result.satisfiable == expected
+                if expected:
+                    assert _satisfies(clauses, result.model)
+                solver.reduce_learned()
+                assumption = rng.randint(1, num_vars) * rng.choice((1, -1))
+                expected = brute_force_satisfiable(num_vars, clauses, [assumption])
+                assert solver.solve(assumptions=[assumption]).satisfiable == expected
+
+
+class TestConflictClauseMinimization:
+    def test_minimization_never_increases_pigeonhole_conflicts(self):
+        for holes in (4, 5):
+            clauses = pigeonhole_clauses(holes)
+            minimized = SatSolver(minimize=True)
+            plain = SatSolver(minimize=False)
+            for clause in clauses:
+                minimized.add_clause(clause)
+                plain.add_clause(clause)
+            result_min = minimized.solve()
+            result_plain = plain.solve()
+            assert not result_min.satisfiable and not result_plain.satisfiable
+            assert result_min.conflicts <= result_plain.conflicts
+
+    def test_both_settings_agree_with_brute_force(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(25):
+            num_vars = rng.randint(3, 6)
+            clauses = _random_clauses(rng, num_vars, rng.randint(4, 18))
+            expected = brute_force_satisfiable(num_vars, clauses)
+            for minimize in (True, False):
+                solver = SatSolver(minimize=minimize)
+                for clause in clauses:
+                    solver.add_clause(clause)
+                assert solver.solve().satisfiable == expected
+
+
+class TestInprocessing:
+    def test_vivification_shortens_an_implied_clause(self):
+        # With 1 <-> 2, probing either literal of [1, 2] falsifies the
+        # other, so vivification shrinks [1, 2] to a unit (symmetric in the
+        # stored literal order).
+        solver = SatSolver()
+        solver.add_clause([-1, 2])
+        solver.add_clause([1, -2])
+        solver.add_clause([1, 2])
+        stats = solver.inprocess()
+        assert stats["vivify_checked"] > 0
+        assert stats["vivified"] >= 1
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] and result.model[2]
+        assert not solver.solve(assumptions=[-1]).satisfiable
+
+    def test_elimination_resolves_out_a_cold_definition(self):
+        # v <-> (a AND b), with v referenced nowhere else: both resolution
+        # pairs are tautological, so eliminating v just drops 3 clauses.
+        solver = SatSolver()
+        a, b, v = 1, 2, 3
+        solver.add_clause([-v, a])
+        solver.add_clause([-v, b])
+        solver.add_clause([v, -a, -b])
+        solver.add_clause([a])  # keep the instance non-trivial
+        stats = solver.inprocess(candidate_vars=[v])
+        assert stats["eliminated"] == [v]
+        assert stats["resolvents"] == 0
+        assert solver.is_eliminated(v)
+        result = solver.solve()
+        assert result.satisfiable
+        # Model reconstruction restores a value for v that satisfies the
+        # original definition clauses.
+        assert result.model[v] == (result.model[a] and result.model[b])
+
+    def test_eliminated_variables_must_not_be_referenced_again(self):
+        solver = SatSolver()
+        solver.add_clause([-3, 1])
+        solver.add_clause([-3, 2])
+        solver.add_clause([3, -1, -2])
+        assert solver.inprocess(candidate_vars=[3])["eliminated"] == [3]
+        with pytest.raises(SolverError, match="eliminated"):
+            solver.solve(assumptions=[3])
+        with pytest.raises(SolverError, match="eliminated"):
+            solver.add_clause([3, 1])
+
+    def test_context_inprocessing_invalidates_encodings_and_keeps_verdicts(self):
+        aig = AIG()
+        literals = [aig.add_input(f"i{k}") for k in range(4)]
+        left = aig.and_(literals[0], literals[1])
+        right = aig.and_(literals[2], literals[3])
+        root = aig.and_(left, right)
+        context = SolverContext(aig, backend="python")
+        goal = context.literal_of(root)
+        assert context.solve(assumptions=[goal]).satisfiable
+        stats = context.inprocess()
+        # Either way the context stays sound; when variables were
+        # eliminated, their builder cache entries must be gone too.
+        eliminated = stats["eliminated"]
+        if eliminated:
+            assert stats["invalidated_nodes"] >= len(eliminated)
+        # Re-encoding the same cone (fresh variables where invalidated)
+        # still proves both polarities correctly.
+        goal = context.literal_of(root)
+        assert context.solve(assumptions=[goal]).satisfiable
+        assert context.solve(assumptions=[-goal]).satisfiable
+        inputs = [context.literal_of(literal) for literal in literals]
+        assert not context.solve(assumptions=[goal, -inputs[0]]).satisfiable
+
+    def test_default_backend_inprocess_is_a_noop(self):
+        from repro.sat.backend import SatBackend
+
+        class Minimal(SatBackend):
+            def add_clause(self, literals):
+                pass
+
+            def ensure_vars(self, count):
+                pass
+
+            def solve(self, assumptions=None, conflict_limit=None):
+                raise NotImplementedError
+
+            @property
+            def num_vars(self):
+                return 0
+
+            @property
+            def num_clauses(self):
+                return 0
+
+            @property
+            def total_conflicts(self):
+                return 0
+
+            @property
+            def solve_calls(self):
+                return 0
+
+        stats = Minimal().inprocess(candidate_vars=[1, 2])
+        assert stats["eliminated"] == []
+        assert stats["vivified"] == 0
+
+
+class TestInprocessEquivalence:
+    """Inprocessing must never change a verdict, a witness, or a report's
+    semantic content — only the performance telemetry."""
+
+    @pytest.mark.parametrize(
+        "bench_name", ["RS232-T2400", "RS232-HT-FREE", "RS232-SEQ-T3000"]
+    )
+    def test_no_inprocess_and_default_reports_are_identical(self, bench_name):
+        from repro.exec import normalized_report_dict
+        from test_preprocess import _audit
+
+        default = _audit(bench_name)
+        plain = _audit(bench_name, inprocess=False)
+        assert normalized_report_dict(default.to_dict()) == (
+            normalized_report_dict(plain.to_dict())
+        )
+        if default.counterexample is not None:
+            assert (
+                default.counterexample.values == plain.counterexample.values
+            ), "counterexample must be byte-identical across inprocess modes"
+
+    def test_parallel_no_inprocess_still_identical(self):
+        from repro.exec import normalized_report_dict
+        from test_preprocess import _audit
+
+        serial = _audit("RS232-T2400")
+        parallel = _audit("RS232-T2400", inprocess=False, jobs=2)
+        assert normalized_report_dict(serial.to_dict()) == (
+            normalized_report_dict(parallel.to_dict())
+        )
+
+
+class TestSearchCounterTelemetry:
+    def test_counters_thread_through_to_the_report(self):
+        from test_preprocess import _audit
+
+        # Without preprocessing the miter goes straight to CDCL, so the
+        # run's solver block must show genuine search work.
+        report = _audit("RS232-T2400", simplify=False)
+        assert report.solver_calls > 0
+        assert report.solver_conflicts > 0
+        assert report.solver_learned_clauses > 0
+        data = report.to_dict()["solver"]
+        assert data["learned_clauses"] == report.solver_learned_clauses
+        assert data["restarts"] == report.solver_restarts
+        assert data["deleted_clauses"] == report.solver_deleted_clauses
+        stats = report.solver_stats()
+        assert stats["learned_clauses"] == report.solver_learned_clauses
+        assert f"{report.solver_learned_clauses} learned" in report.summary()
+
+    def test_old_report_dicts_default_the_new_counters(self):
+        from repro.core.report import DetectionReport
+        from test_preprocess import _audit
+
+        data = _audit("RS232-HT-FREE").to_dict()
+        # Simulate a v4 report: no search counters in the solver block.
+        data["schema_version"] = 4
+        for key in ("restarts", "learned_clauses", "deleted_clauses"):
+            del data["solver"][key]
+        rebuilt = DetectionReport.from_dict(data)
+        assert rebuilt.solver_restarts == 0
+        assert rebuilt.solver_learned_clauses == 0
+        assert rebuilt.solver_deleted_clauses == 0
+
+
+_clause_strategy = st.lists(
+    st.integers(min_value=1, max_value=5).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestSolverFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        clauses=st.lists(_clause_strategy, min_size=1, max_size=14),
+        extra=st.lists(_clause_strategy, min_size=0, max_size=6),
+        assumption_vars=st.lists(
+            st.integers(min_value=1, max_value=5), min_size=0, max_size=2
+        ),
+        inprocess=st.booleans(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_persistent_solver_agrees_with_brute_force(
+        self, clauses, extra, assumption_vars, inprocess, seed
+    ):
+        """One persistent solver through add/solve/inprocess/assume rounds."""
+        rng = random.Random(seed)
+        num_vars = 5
+        solver = SatSolver(reduce_base=5, reduce_increment=1)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve().satisfiable == brute_force_satisfiable(num_vars, clauses)
+        if inprocess:
+            solver.inprocess(candidate_vars=[rng.randint(1, num_vars)])
+        # Assumptions may only name variables inprocessing did not remove.
+        assumptions = [
+            variable * rng.choice((1, -1))
+            for variable in assumption_vars
+            if not solver.is_eliminated(variable)
+        ]
+        assert solver.solve(assumptions=assumptions).satisfiable == (
+            brute_force_satisfiable(num_vars, clauses, assumptions)
+        )
+        # Adding clauses after inprocessing keeps agreeing, as long as the
+        # new clauses avoid eliminated variables.
+        added = [
+            clause
+            for clause in extra
+            if not any(solver.is_eliminated(abs(l)) for l in clause)
+        ]
+        for clause in added:
+            solver.add_clause(clause)
+        combined = clauses + added
+        result = solver.solve()
+        assert result.satisfiable == brute_force_satisfiable(num_vars, combined)
+        if result.satisfiable:
+            assert _satisfies(combined, result.model)
