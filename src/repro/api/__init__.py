@@ -44,6 +44,7 @@ from repro.api.events import (
     RunStarted,
     StructurallyDischarged,
     class_label,
+    event_from_dict,
 )
 from repro.api.session import BatchReport, BatchSession, DetectionSession
 from repro.core.config import DetectionConfig, Waiver
@@ -76,4 +77,5 @@ __all__ = [
     "RunFinished",
     "EventBus",
     "class_label",
+    "event_from_dict",
 ]

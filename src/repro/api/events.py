@@ -20,7 +20,9 @@ from repro.core.events import (
     RunFinished,
     RunStarted,
     StructurallyDischarged,
+    WIRE_EVENT_TYPES,
     class_label,
+    event_from_dict,
 )
 
 __all__ = [
@@ -36,5 +38,7 @@ __all__ = [
     "CexWaived",
     "RunFinished",
     "EventBus",
+    "WIRE_EVENT_TYPES",
     "class_label",
+    "event_from_dict",
 ]

@@ -124,9 +124,16 @@ class DetectionSession:
         self,
         callback: Callable[[RunEvent], None],
         event_type: Optional[Type[RunEvent]] = None,
+        safe: bool = False,
     ) -> Callable[[], None]:
-        """Observe run events; returns an unsubscribe callable."""
-        return self._bus.subscribe(callback, event_type)
+        """Observe run events; returns an unsubscribe callable.
+
+        ``safe=True`` isolates the observer from the run: its exceptions are
+        logged and swallowed instead of aborting the audit — the right mode
+        for progress displays and streaming clients whose failure must never
+        change a verdict.
+        """
+        return self._bus.subscribe(callback, event_type, safe=safe)
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -350,9 +357,14 @@ class BatchSession:
         self,
         callback: Callable[[RunEvent], None],
         event_type: Optional[Type[RunEvent]] = None,
+        safe: bool = False,
     ) -> Callable[[], None]:
-        """Observe the run events of every design in the batch."""
-        return self._bus.subscribe(callback, event_type)
+        """Observe the run events of every design in the batch.
+
+        ``safe=True`` logs-and-continues on observer exceptions instead of
+        aborting the batch (see :meth:`DetectionSession.subscribe`).
+        """
+        return self._bus.subscribe(callback, event_type, safe=safe)
 
     def config_for(self, design: Design) -> DetectionConfig:
         """The effective configuration the batch applies to ``design``."""

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-ht-detect``.
 
-A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
+A thin consumer of the session API (:mod:`repro.api`) with seven subcommands::
 
     repro-ht-detect run --benchmark AES-T1400 --json
     repro-ht-detect run --verilog design.v --top my_accel --inputs din,key
@@ -9,6 +9,8 @@ A thin consumer of the session API (:mod:`repro.api`) with five subcommands::
     repro-ht-detect list-benchmarks
     repro-ht-detect report audit.json
     repro-ht-detect cache stats --cache-dir ~/.repro-cache
+    repro-ht-detect serve --port 8321 --jobs 4 --queue-dir ./audit-queue
+    repro-ht-detect submit --url http://127.0.0.1:8321 --benchmark RS232-T1000
 
 ``run`` audits one design (``--json`` emits the schema-versioned report,
 ``--verbose`` streams per-property events as they settle;
@@ -25,6 +27,14 @@ catalogue, ``report`` re-renders a previously saved JSON report, and
 ``cache`` inspects (``stats``) or empties (``clear``) the persistent on-disk
 result cache that ``--cache-dir`` enables on ``run``/``batch``
 (``--no-cache`` bypasses both reads and writes).
+
+``serve`` runs the long-lived audit daemon (:mod:`repro.serve`): a
+persistent journaled job queue feeding ``--jobs`` worker threads, with
+deduplication, per-token quotas, priorities, and live Server-Sent-Events
+streaming.  ``submit`` is its client: it posts a design to a running
+daemon, streams events with ``--verbose``, and renders the finished report
+exactly like ``run`` does (same flags, same exit codes; ``--detach``
+returns immediately with the job id instead of waiting).
 
 The pre-subcommand invocation style (``repro-ht-detect --verilog ...``) is
 still accepted and mapped onto ``run`` / ``list-benchmarks`` with a
@@ -63,7 +73,7 @@ from repro.api import (
 from repro.errors import ReproError
 from repro.sat import available_backends, default_backend_name
 
-_SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report", "cache")
+_SUBCOMMANDS = ("run", "batch", "list-benchmarks", "report", "cache", "serve", "submit")
 
 #: Flag defaults are read off a default config, so tuning a library default
 #: can never silently diverge from what the CLI passes (the batch template
@@ -294,6 +304,82 @@ def build_parser() -> argparse.ArgumentParser:
         action_parser.add_argument(
             "--cache-dir", required=True, metavar="DIR", help="cache directory"
         )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the long-lived audit daemon (HTTP/JSON + SSE)"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, metavar="PORT",
+        help="bind port (default: 8321; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--jobs", "-j", type=int, default=2, metavar="N",
+        help="worker threads running audits (default: 2; 0 accepts and "
+             "journals jobs without running them)",
+    )
+    serve_parser.add_argument(
+        "--queue-dir", default=".repro-serve", metavar="DIR",
+        help="persistent job queue directory (default: .repro-serve); the "
+             "daemon replays incomplete journaled jobs from here on startup",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="shared result cache for every served audit "
+             "(default: QUEUE_DIR/cache)",
+    )
+    serve_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="run served audits without the shared result cache",
+    )
+    serve_parser.add_argument(
+        "--quota", type=int, default=0, metavar="N",
+        help="max incomplete jobs per client token (default: 0, unlimited)",
+    )
+    serve_parser.add_argument(
+        "--token-quota", action="append", default=[], metavar="TOKEN=N",
+        help="override the quota for one client token (repeatable)",
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit one audit to a running daemon and stream it"
+    )
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321", metavar="URL",
+        help="base URL of the daemon (default: http://127.0.0.1:8321)",
+    )
+    submit_source = submit_parser.add_mutually_exclusive_group(required=True)
+    submit_source.add_argument(
+        "--verilog", metavar="FILE", help="Verilog source file to upload"
+    )
+    submit_source.add_argument(
+        "--benchmark", metavar="NAME", help="bundled Trust-Hub-style benchmark name"
+    )
+    submit_parser.add_argument("--top", help="top module name (required with --verilog)")
+    submit_parser.add_argument(
+        "--golden-top", metavar="NAME",
+        help="sequential mode: top module of the golden model",
+    )
+    submit_parser.add_argument(
+        "--golden", metavar="FILE",
+        help="sequential mode: separate Verilog file holding --golden-top",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0, metavar="N",
+        help="queue priority (higher runs first; default: 0)",
+    )
+    submit_parser.add_argument(
+        "--token", default="", metavar="TOKEN",
+        help="client token for the daemon's quota accounting",
+    )
+    submit_parser.add_argument(
+        "--detach", action="store_true",
+        help="submit and print the job id without waiting for the verdict",
+    )
+    _add_config_options(submit_parser)
+    _add_output_options(submit_parser)
 
     return parser
 
@@ -587,6 +673,123 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0 if report.is_secure else 1
 
 
+def _parse_token_quotas(items: List[str]) -> dict:
+    """Parse repeated ``--token-quota TOKEN=N`` flags into a dict."""
+    quotas = {}
+    for item in items:
+        token, separator, text = item.partition("=")
+        if not separator or not token:
+            raise ReproError(f"--token-quota expects TOKEN=N, got {item!r}")
+        try:
+            quotas[token] = int(text.strip())
+        except ValueError as error:
+            raise ReproError(
+                f"--token-quota {item!r}: quota is not an integer"
+            ) from error
+    return quotas
+
+
+def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.serve import AuditServer
+
+    server = AuditServer(
+        host=args.host,
+        port=args.port,
+        queue_dir=args.queue_dir,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        default_quota=args.quota,
+        quotas=_parse_token_quotas(args.token_quota),
+    )
+    server.start()
+    recovered = server.queue.recovered_jobs
+    print(
+        f"repro serve: listening on {server.url} "
+        f"({args.jobs} worker(s), queue {args.queue_dir}"
+        + (f", {recovered} job(s) recovered" if recovered else "")
+        + ")",
+        file=sys.stderr,
+    )
+    import time
+
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def _submission_config_dict(args: argparse.Namespace) -> dict:
+    """The semantic config overlay sent with a submission.
+
+    Execution knobs (jobs, cache) are the daemon's to decide, so they are
+    stripped; they never enter the config fingerprint either, so a served
+    audit stays report-identical to a local ``run``.
+    """
+    config = DetectionConfig(
+        inputs=parse_input_list(args.inputs) if args.inputs else None,
+        waivers=[Waiver(signal=name, reason="command line") for name in args.waive],
+        **_shared_config_kwargs(args),
+    )
+    data = config.to_dict()
+    for knob in ("jobs", "cache_dir", "use_cache"):
+        data.pop(knob, None)
+    return data
+
+
+def _cmd_submit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.serve.client import AuditFailedError, ServeClient
+
+    body: dict = {
+        "config": _submission_config_dict(args),
+        "use_recommended_waivers": not args.no_recommended_waivers,
+        "priority": args.priority,
+    }
+    if args.benchmark:
+        if args.golden or args.golden_top:
+            parser.error("--golden/--golden-top apply to --verilog designs only; "
+                         "benchmarks use their catalogued golden model")
+        body["benchmark"] = args.benchmark
+    else:
+        if not args.top:
+            parser.error("--top is required with --verilog")
+        if args.golden and not args.golden_top:
+            parser.error("--golden needs --golden-top to name the golden module")
+        with open(args.verilog, "r", encoding="utf-8") as handle:
+            body["verilog"] = handle.read()
+        body["top"] = args.top
+        if args.golden_top:
+            body["golden_top"] = args.golden_top
+        if args.golden:
+            with open(args.golden, "r", encoding="utf-8") as handle:
+                body["golden_verilog"] = handle.read()
+
+    client = ServeClient(args.url, token=args.token or None)
+    handle_data = client.submit(body)
+    job = handle_data["job"]
+    note = " (attached to existing job)" if handle_data["deduplicated"] else ""
+    print(f"submitted job {job['id']} [{job['design_name']}]{note}", file=sys.stderr)
+    if args.detach:
+        print(job["id"])
+        return 0
+
+    event_stream = sys.stderr if args.json else sys.stdout
+    try:
+        for event in client.stream_events(job["id"]):
+            if args.verbose and not isinstance(event, RunFinished):
+                _print_event(event, file=event_stream)
+    except AuditFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = client.report(job["id"])
+    _emit_json(args, report.to_json(), report.summary())
+    return 0 if report.is_secure else 1
+
+
 # ---------------------------------------------------------------------- #
 # Entry point
 # ---------------------------------------------------------------------- #
@@ -597,6 +800,8 @@ _HANDLERS = {
     "list-benchmarks": _cmd_list_benchmarks,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigError
 
@@ -241,6 +241,74 @@ class DetectionConfig:
                 validate_reset_entry(name, value)
         if self.inputs is not None:
             validate_input_names(self.inputs)
+
+    # ------------------------------------------------------------------ #
+    # Serialization (the audit service's submission body, and anywhere a
+    # configuration crosses a process or network boundary)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native dict covering every field (``from_dict`` inverse)."""
+        return {
+            "inputs": list(self.inputs) if self.inputs is not None else None,
+            "cumulative_assumptions": self.cumulative_assumptions,
+            "assume_inputs_at_prove_time": self.assume_inputs_at_prove_time,
+            "waivers": [
+                {"signal": waiver.signal, "reason": waiver.reason}
+                for waiver in self.waivers
+            ],
+            "stop_at_first_failure": self.stop_at_first_failure,
+            "max_class": self.max_class,
+            "solver_backend": self.solver_backend,
+            "jobs": self.jobs,
+            "cache_dir": self.cache_dir,
+            "use_cache": self.use_cache,
+            "mode": self.mode,
+            "depth": self.depth,
+            "reset_values": dict(self.reset_values) if self.reset_values is not None else None,
+            "simplify": self.simplify,
+            "sim_patterns": self.sim_patterns,
+            "fraig_rounds": self.fraig_rounds,
+            "inprocess": self.inprocess,
+            "sim_backend": self.sim_backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DetectionConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output.
+
+        Missing keys keep their defaults (a partial dict is a valid config
+        overlay); unknown keys raise :class:`ConfigError` so a typoed field
+        in a service submission fails loudly instead of silently running
+        with the default.  All value validation is ``__post_init__``'s.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"serialized config must be a dict, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown config field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        kwargs: Dict[str, Any] = dict(data)
+        if "waivers" in kwargs:
+            entries = kwargs["waivers"]
+            if not isinstance(entries, list):
+                raise ConfigError(f"waivers must be a list, got {entries!r}")
+            waivers: List[Waiver] = []
+            for entry in entries:
+                if not isinstance(entry, dict) or "signal" not in entry:
+                    raise ConfigError(
+                        f"each waiver must be a dict with a 'signal' key, got {entry!r}"
+                    )
+                waivers.append(
+                    Waiver(signal=entry["signal"], reason=entry.get("reason", ""))
+                )
+            kwargs["waivers"] = waivers
+        return cls(**kwargs)
 
     def waived_signals(self) -> List[str]:
         return [waiver.signal for waiver in self.waivers]

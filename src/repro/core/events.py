@@ -34,13 +34,18 @@ the (higher-level) API package.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.falsealarm import CexDiagnosis
     from repro.core.report import DetectionReport, PropertyOutcome
     from repro.ipc.cex import CounterExample
+
+logger = logging.getLogger("repro.events")
 
 
 def class_label(index: int, kind: Optional[str] = None) -> str:
@@ -58,9 +63,26 @@ def class_label(index: int, kind: Optional[str] = None) -> str:
 
 @dataclass(frozen=True)
 class RunEvent:
-    """Base class of all events of one detection run."""
+    """Base class of all events of one detection run.
+
+    Every concrete event type round-trips through a JSON-native wire form:
+    ``to_dict()`` stamps the payload with the event class name under the
+    ``"event"`` key, and :func:`event_from_dict` dispatches back to the
+    right class.  The wire form is what crosses process and network
+    boundaries — the Server-Sent-Events feed of :mod:`repro.serve` streams
+    exactly these dicts.
+    """
 
     design: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native wire form of this event (see :func:`event_from_dict`)."""
+        return {"event": type(self).__name__, "design": self.design}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunEvent":
+        """Rebuild an event of exactly this class from its wire form."""
+        return cls(design=data["design"])
 
 
 @dataclass(frozen=True)
@@ -75,6 +97,24 @@ class RunStarted(RunEvent):
     solver_backend: str
     workers: int = 1
 
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(
+            scheduled_classes=self.scheduled_classes,
+            solver_backend=self.solver_backend,
+            workers=self.workers,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunStarted":
+        return cls(
+            design=data["design"],
+            scheduled_classes=data["scheduled_classes"],
+            solver_backend=data["solver_backend"],
+            workers=data.get("workers", 1),
+        )
+
 
 @dataclass(frozen=True)
 class ClassEvent(RunEvent):
@@ -85,6 +125,11 @@ class ClassEvent(RunEvent):
     @property
     def label(self) -> str:
         return class_label(self.index)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["index"] = self.index
+        return data
 
 
 @dataclass(frozen=True)
@@ -98,6 +143,25 @@ class PropertyScheduled(ClassEvent):
     @property
     def label(self) -> str:
         return class_label(self.index, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(
+            kind=self.kind,
+            property_name=self.property_name,
+            commitments=self.commitments,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PropertyScheduled":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            kind=data["kind"],
+            property_name=data["property_name"],
+            commitments=data["commitments"],
+        )
 
 
 @dataclass(frozen=True)
@@ -115,6 +179,24 @@ class StructurallyDischarged(ClassEvent):
     def label(self) -> str:
         return self.outcome.label
 
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.report import outcome_to_dict
+
+        data = super().to_dict()
+        data.update(outcome=outcome_to_dict(self.outcome), from_cache=self.from_cache)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StructurallyDischarged":
+        from repro.core.report import outcome_from_dict
+
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            outcome=outcome_from_dict(data["outcome"]),
+            from_cache=data.get("from_cache", False),
+        )
+
 
 @dataclass(frozen=True)
 class ClassProven(ClassEvent):
@@ -131,6 +213,29 @@ class ClassProven(ClassEvent):
     @property
     def label(self) -> str:
         return self.outcome.label
+
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.report import outcome_to_dict
+
+        data = super().to_dict()
+        data.update(
+            outcome=outcome_to_dict(self.outcome),
+            solve_s=self.solve_s,
+            from_cache=self.from_cache,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassProven":
+        from repro.core.report import outcome_from_dict
+
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            outcome=outcome_from_dict(data["outcome"]),
+            solve_s=data.get("solve_s", 0.0),
+            from_cache=data.get("from_cache", False),
+        )
 
 
 @dataclass(frozen=True)
@@ -151,6 +256,27 @@ class ConeSimplified(ClassEvent):
     def label(self) -> str:
         return class_label(self.index, self.kind)
 
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(
+            nodes_before=self.nodes_before,
+            nodes_after=self.nodes_after,
+            merged_nodes=self.merged_nodes,
+            kind=self.kind,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ConeSimplified":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            nodes_before=data["nodes_before"],
+            nodes_after=data["nodes_after"],
+            merged_nodes=data["merged_nodes"],
+            kind=data.get("kind", "fanout"),
+        )
+
 
 @dataclass(frozen=True)
 class ClassSimFalsified(ClassEvent):
@@ -166,6 +292,19 @@ class ClassSimFalsified(ClassEvent):
     @property
     def label(self) -> str:
         return class_label(self.index, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["kind"] = self.kind
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClassSimFalsified":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            kind=data.get("kind", "fanout"),
+        )
 
 
 @dataclass(frozen=True)
@@ -192,6 +331,35 @@ class CexFound(ClassEvent):
     def label(self) -> str:
         return class_label(self.index, self.kind)
 
+    def to_dict(self) -> Dict[str, Any]:
+        from repro.core.report import cex_to_dict, diagnosis_to_dict
+
+        data = super().to_dict()
+        data.update(
+            cex=cex_to_dict(self.cex),
+            diagnosis=diagnosis_to_dict(self.diagnosis),
+            auto_resolvable=self.auto_resolvable,
+            solve_s=self.solve_s,
+            from_cache=self.from_cache,
+            kind=self.kind,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CexFound":
+        from repro.core.report import cex_from_dict, diagnosis_from_dict
+
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            cex=cex_from_dict(data.get("cex")),
+            diagnosis=diagnosis_from_dict(data.get("diagnosis")),
+            auto_resolvable=data["auto_resolvable"],
+            solve_s=data.get("solve_s", 0.0),
+            from_cache=data.get("from_cache", False),
+            kind=data.get("kind", "fanout"),
+        )
+
 
 @dataclass(frozen=True)
 class CexWaived(ClassEvent):
@@ -203,6 +371,19 @@ class CexWaived(ClassEvent):
     """
 
     signals: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["signals"] = list(self.signals)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CexWaived":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            signals=tuple(data["signals"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -217,42 +398,153 @@ class RunFinished(RunEvent):
     report: "DetectionReport"
     elapsed_s: float = 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(report=self.report.to_dict(), elapsed_s=self.elapsed_s)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunFinished":
+        from repro.core.report import DetectionReport
+
+        return cls(
+            design=data["design"],
+            report=DetectionReport.from_dict(data["report"]),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Wire-format dispatch
+# ---------------------------------------------------------------------- #
+
+#: Every concrete event type that can cross a process or network boundary,
+#: keyed by the class name ``to_dict()`` stamps under the ``"event"`` key.
+#: A new event class must be added here (the wire round-trip test walks the
+#: ``RunEvent`` subclass tree and fails on any concrete class missing from
+#: this registry).
+WIRE_EVENT_TYPES: Dict[str, Type[RunEvent]] = {
+    cls.__name__: cls
+    for cls in (
+        RunStarted,
+        PropertyScheduled,
+        ConeSimplified,
+        ClassSimFalsified,
+        StructurallyDischarged,
+        ClassProven,
+        CexFound,
+        CexWaived,
+        RunFinished,
+    )
+}
+
+
+def event_from_dict(data: Dict[str, Any]) -> RunEvent:
+    """Rebuild a typed run event from its ``to_dict()`` wire form.
+
+    Raises :class:`repro.errors.ReproError` on unknown event names or
+    malformed payloads, so transport layers (the SSE client, tests) fail
+    loudly on foreign data instead of crashing deep inside a constructor.
+    """
+    if not isinstance(data, dict):
+        raise ReproError(f"serialized event must be a dict, got {type(data).__name__}")
+    name = data.get("event")
+    event_type = WIRE_EVENT_TYPES.get(name)
+    if event_type is None:
+        known = ", ".join(sorted(WIRE_EVENT_TYPES))
+        raise ReproError(f"unknown event type {name!r} (known: {known})")
+    try:
+        return event_type.from_dict(data)
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise ReproError(f"malformed {name} event payload: {error}") from error
+
 
 Subscriber = Callable[[RunEvent], None]
+
+
+class _Subscription:
+    """One registered observer.  Deliberately *not* a dataclass/tuple: two
+    identical ``subscribe`` calls must produce distinguishable entries, so
+    that one unsubscribe handle can only ever detach its own subscription
+    (identity semantics, never value equality)."""
+
+    __slots__ = ("event_type", "callback", "safe")
+
+    def __init__(
+        self,
+        event_type: Optional[Type[RunEvent]],
+        callback: Subscriber,
+        safe: bool,
+    ) -> None:
+        self.event_type = event_type
+        self.callback = callback
+        self.safe = safe
 
 
 class EventBus:
     """A small synchronous subscriber registry for run events.
 
-    Callbacks run inline on the emitting thread, in subscription order;
-    exceptions propagate to the emitter (an observer that must never abort a
-    run should catch its own errors).  ``subscribe`` returns an unsubscribe
-    callable, in the spirit of scrapy's signal manager.
+    Callbacks run inline on the emitting thread, in subscription order.  By
+    default an observer exception propagates to the emitter — aborting the
+    run — which is right for consumers whose failure *should* fail the audit
+    (e.g. a report writer).  Observers that must never abort a run (progress
+    bars, telemetry, streaming clients) subscribe with ``safe=True``:
+    their exceptions are logged on the ``repro.events`` logger and delivery
+    continues.  ``subscribe`` returns an unsubscribe callable, in the spirit
+    of scrapy's signal manager; each call returns a handle that detaches
+    exactly its own subscription, even when the same ``(event_type,
+    callback)`` pair was registered more than once.
     """
 
     def __init__(self) -> None:
-        self._subscribers: List[Tuple[Optional[Type[RunEvent]], Subscriber]] = []
+        self._subscriptions: List[_Subscription] = []
 
     def subscribe(
         self,
         callback: Subscriber,
         event_type: Optional[Type[RunEvent]] = None,
+        safe: bool = False,
     ) -> Callable[[], None]:
-        """Register ``callback`` for ``event_type`` (or all events when None)."""
-        entry = (event_type, callback)
-        self._subscribers.append(entry)
+        """Register ``callback`` for ``event_type`` (or all events when None).
+
+        With ``safe=True`` the callback can never abort the emitting run:
+        exceptions it raises are logged and swallowed (log-and-continue).
+        """
+        subscription = _Subscription(event_type, callback, safe)
+        self._subscriptions.append(subscription)
 
         def unsubscribe() -> None:
-            if entry in self._subscribers:
-                self._subscribers.remove(entry)
+            # list.remove compares with ==, which is identity for
+            # _Subscription — a second identical subscription is never
+            # detached by this handle, and calling the handle twice is a
+            # harmless no-op.
+            try:
+                self._subscriptions.remove(subscription)
+            except ValueError:
+                pass
 
         return unsubscribe
 
     def emit(self, event: RunEvent) -> None:
         """Deliver ``event`` to every matching subscriber."""
-        for event_type, callback in list(self._subscribers):
-            if event_type is None or isinstance(event, event_type):
-                callback(event)
+        for subscription in list(self._subscriptions):
+            if subscription.event_type is not None and not isinstance(
+                event, subscription.event_type
+            ):
+                continue
+            if subscription.safe:
+                try:
+                    subscription.callback(event)
+                except Exception:  # noqa: BLE001 - isolation is the contract
+                    logger.exception(
+                        "safe subscriber %r failed on %s (run continues)",
+                        subscription.callback,
+                        type(event).__name__,
+                    )
+            else:
+                subscription.callback(event)
 
     def __len__(self) -> int:
-        return len(self._subscribers)
+        return len(self._subscriptions)

@@ -1,0 +1,164 @@
+"""Typed stdlib client of the audit daemon.
+
+:class:`ServeClient` wraps :mod:`urllib.request` so scripts (and the
+``repro submit`` subcommand, and the CI smoke test) talk to ``repro serve``
+without a third-party HTTP library::
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8321", token="ci")
+    handle = client.submit({"benchmark": "RS232-T1000"})
+    for event in client.stream_events(handle["job"]["id"]):
+        print(type(event).__name__)
+    report = client.report(handle["job"]["id"])   # a DetectionReport
+
+The event stream yields the same typed :class:`repro.api.events.RunEvent`
+objects a local :meth:`DetectionSession.iter_results` does — decoded from
+the SSE feed via the event wire format — so streaming consumers are
+source-compatible between in-process and served audits.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+from repro.core.events import RunEvent, event_from_dict
+from repro.core.report import DetectionReport
+from repro.errors import ReproError
+from repro.serve import sse
+
+
+class ServeError(ReproError):
+    """An HTTP-level failure talking to the daemon."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class AuditFailedError(ServeError):
+    """The daemon reported the audit job itself as failed."""
+
+
+class ServeClient:
+    """Minimal blocking client of one audit daemon."""
+
+    def __init__(self, base_url: str, token: Optional[str] = None, timeout: float = 60.0) -> None:
+        self._base = base_url.rstrip("/")
+        self._token = token
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        stream: bool = False,
+        timeout: Optional[float] = None,
+    ):
+        headers = {"Accept": "application/json"}
+        if self._token:
+            headers["X-Repro-Token"] = self._token
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self._base + path, data=data, headers=headers
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=self._timeout if timeout is None else timeout
+            )
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                payload = json.loads(error.read().decode("utf-8"))
+                detail = payload.get("error", "")
+            except (ValueError, OSError):
+                pass
+            raise ServeError(
+                f"{path}: HTTP {error.code}" + (f": {detail}" if detail else ""),
+                status=error.code,
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServeError(f"{path}: {error.reason}") from error
+        if stream:
+            return response
+        with response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("/v1/stats")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("/v1/audits")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/v1/audits/{job_id}")
+
+    def submit(self, submission: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one submission body; returns ``{"job": ..., "deduplicated": ...}``."""
+        return self._request("/v1/audits", body=submission)
+
+    def report_dict(self, job_id: str) -> Dict[str, Any]:
+        return self._request(f"/v1/audits/{job_id}/report")
+
+    def report(self, job_id: str) -> DetectionReport:
+        return DetectionReport.from_dict(self.report_dict(job_id))
+
+    def stream_events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[RunEvent]:
+        """Stream the job's run events live, as typed event objects.
+
+        Terminates when the daemon sends the ``end`` frame; raises
+        :class:`AuditFailedError` on the ``error`` frame.  Frames that are
+        not run events (the initial ``state`` frame, keepalives) are
+        skipped.
+        """
+        response = self._request(
+            f"/v1/audits/{job_id}/events",
+            stream=True,
+            timeout=timeout if timeout is not None else max(self._timeout, 600.0),
+        )
+        with response:
+            for frame in sse.iter_events(response):
+                if frame.event == sse.END_EVENT:
+                    return
+                if frame.event == sse.ERROR_EVENT:
+                    payload = frame.json()
+                    raise AuditFailedError(
+                        f"job {job_id} failed: {payload.get('error')}"
+                    )
+                if frame.event == sse.STATE_EVENT or frame.event is None:
+                    continue
+                yield event_from_dict(frame.json())
+        raise ServeError(f"event stream of job {job_id} ended without an end frame")
+
+    def wait(self, job_id: str, timeout: float = 600.0, poll_s: float = 0.25) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the job dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {job['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_s)

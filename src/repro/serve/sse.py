@@ -1,0 +1,87 @@
+"""Server-Sent Events framing (encoder + incremental parser).
+
+The daemon streams an audit's typed run events over ``text/event-stream``
+(`WHATWG HTML § 9.2`_): each frame is an optional ``id:`` line, an optional
+``event:`` line, one or more ``data:`` lines, and a blank-line terminator.
+The encoder here produces frames; the parser consumes a byte stream back
+into ``(event, data, id)`` triples — it is what :class:`repro.serve.client
+.ServeClient` and the CI smoke test use, so the two sides exercise each
+other.
+
+Only the subset the service needs is implemented (no ``retry:``, UTF-8
+only), but the framing is standard: any off-the-shelf EventSource client
+can consume the daemon's stream.
+
+.. _WHATWG HTML § 9.2: https://html.spec.whatwg.org/multipage/server-sent-events.html
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, IO, Iterator, Optional
+
+#: Event names used on the wire, beyond per-run event frames (whose name is
+#: the RunEvent class name, e.g. ``CexFound``).
+END_EVENT = "end"
+ERROR_EVENT = "error"
+STATE_EVENT = "state"
+KEEPALIVE_COMMENT = b": keepalive\n\n"
+
+
+def encode_event(
+    data: Any, event: Optional[str] = None, event_id: Optional[int] = None
+) -> bytes:
+    """Encode one SSE frame; ``data`` is JSON-serialized onto ``data:`` lines."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    for chunk in payload.splitlines() or [""]:
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """One parsed SSE frame."""
+
+    event: Optional[str]
+    data: str
+    id: Optional[str] = None
+
+    def json(self) -> Any:
+        return json.loads(self.data)
+
+
+def iter_events(stream: IO[bytes]) -> Iterator[ServerEvent]:
+    """Parse an SSE byte stream into frames; stops cleanly at EOF.
+
+    Comment lines (``:`` prefix — the daemon's keepalives) are skipped.
+    Multiple ``data:`` lines concatenate with newlines, per spec.
+    """
+    event: Optional[str] = None
+    event_id: Optional[str] = None
+    data_lines: list = []
+    for raw in stream:
+        line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        if not line:
+            if data_lines:
+                yield ServerEvent(event=event, data="\n".join(data_lines), id=event_id)
+            event, event_id, data_lines = None, None, []
+            continue
+        if line.startswith(":"):
+            continue
+        field, _, value = line.partition(":")
+        if value.startswith(" "):
+            value = value[1:]
+        if field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
+        elif field == "id":
+            event_id = value
+    if data_lines:
+        yield ServerEvent(event=event, data="\n".join(data_lines), id=event_id)
