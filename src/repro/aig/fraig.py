@@ -38,6 +38,7 @@ from repro.aig.aig import AIG, FALSE, TRUE, negate
 from repro.aig.simplify import SimplifyResult, resolve_merge, simplify_cone
 from repro.aig.simvec import PatternSet, node_signatures
 from repro.errors import SolverError
+from repro.obs.trace import span as _span
 from repro.sat.context import SolverContext
 
 #: Per-proof conflict budget.  Equivalences inside one cone are usually
@@ -143,7 +144,8 @@ class FraigContext:
         budget = self.max_proofs
         for _ in range(max(0, self.rounds)):
             stats.rounds += 1
-            signatures = node_signatures(aig, roots, self.patterns, cone=cone)
+            with _span("sim", stage="signatures"):
+                signatures = node_signatures(aig, roots, self.patterns, cone=cone)
             mask = self.patterns.mask
             # Group candidate AND nodes by canonical signature; inputs are
             # never merge *targets* (they are free variables) but may serve

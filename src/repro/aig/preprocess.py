@@ -32,6 +32,7 @@ from repro.aig.simvec import (
     first_satisfying_index,
     minimize_assignment,
 )
+from repro.obs.trace import span as _span
 from repro.sat.context import SolverContext
 
 
@@ -95,23 +96,27 @@ class Preprocessor:
         """Preprocess the conjunction of ``roots`` (all goals must hold)."""
         started = _time.perf_counter()
         aig = self._aig
-        cone = aig.cone_nodes(roots)  # walked once, shared by every stage
-        outcome = PreprocessOutcome(roots=list(roots), nodes_before=len(cone))
-        patterns = self.patterns
-        words = patterns.evaluate(aig, roots, cone=cone)
-        index = first_satisfying_index(words, patterns.mask)
-        if index is not None:
-            assignment = patterns.extract(aig, roots, index, cone=cone)
-            outcome.sim_model = minimize_assignment(
-                aig, roots, assignment, cone=cone, sim_backend=self._sim_backend
-            )
-            outcome.nodes_after = outcome.nodes_before
-        elif self._fraig_rounds > 0:
-            swept, stats = self.fraig.sweep(roots, cone=cone)
-            outcome.roots = swept.roots
-            outcome.nodes_after = swept.nodes_after
-            outcome.merged_nodes = stats.merged_nodes
-        else:
-            outcome.nodes_after = outcome.nodes_before
+        with _span("preprocess"):
+            cone = aig.cone_nodes(roots)  # walked once, shared by every stage
+            outcome = PreprocessOutcome(roots=list(roots), nodes_before=len(cone))
+            patterns = self.patterns
+            with _span("sim", cone_nodes=len(cone)):
+                words = patterns.evaluate(aig, roots, cone=cone)
+                index = first_satisfying_index(words, patterns.mask)
+            if index is not None:
+                with _span("sim", stage="minimize"):
+                    assignment = patterns.extract(aig, roots, index, cone=cone)
+                    outcome.sim_model = minimize_assignment(
+                        aig, roots, assignment, cone=cone, sim_backend=self._sim_backend
+                    )
+                outcome.nodes_after = outcome.nodes_before
+            elif self._fraig_rounds > 0:
+                with _span("fraig", cone_nodes=len(cone)):
+                    swept, stats = self.fraig.sweep(roots, cone=cone)
+                outcome.roots = swept.roots
+                outcome.nodes_after = swept.nodes_after
+                outcome.merged_nodes = stats.merged_nodes
+            else:
+                outcome.nodes_after = outcome.nodes_before
         outcome.elapsed_seconds = _time.perf_counter() - started
         return outcome

@@ -42,6 +42,7 @@ from repro.api.events import (
     RunEvent,
     RunFinished,
     RunStarted,
+    SolverProgress,
     StructurallyDischarged,
     class_label,
     event_from_dict,
@@ -70,6 +71,7 @@ __all__ = [
     "PropertyScheduled",
     "ConeSimplified",
     "ClassSimFalsified",
+    "SolverProgress",
     "StructurallyDischarged",
     "ClassProven",
     "CexFound",

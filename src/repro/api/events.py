@@ -19,6 +19,7 @@ from repro.core.events import (
     RunEvent,
     RunFinished,
     RunStarted,
+    SolverProgress,
     StructurallyDischarged,
     WIRE_EVENT_TYPES,
     class_label,
@@ -32,6 +33,7 @@ __all__ = [
     "PropertyScheduled",
     "ConeSimplified",
     "ClassSimFalsified",
+    "SolverProgress",
     "StructurallyDischarged",
     "ClassProven",
     "CexFound",

@@ -36,6 +36,7 @@ from repro.core.report import (
 from repro.errors import ConfigError, ReproError
 from repro.exec.executor import create_executor
 from repro.exec.scheduler import DesignPlan, run_plans
+from repro.obs.progress import progress_sink
 from repro.rtl.ir import Module
 
 
@@ -148,13 +149,17 @@ class DetectionSession:
         final :class:`RunFinished` event, :attr:`report` holds the run's
         report.
         """
-        for event in self.flow.events():
-            # Store the report before dispatching, so a RunFinished
-            # subscriber reading session.report sees the finished run.
-            if isinstance(event, RunFinished):
-                self._report = event.report
-            self._bus.emit(event)
-            yield event
+        # Solver heartbeats (SolverProgress) are transient: they go to the
+        # bus for live observers but never into the merged class-ordered
+        # stream, so the yielded events stay deterministic.
+        with progress_sink(self._bus.emit):
+            for event in self.flow.events():
+                # Store the report before dispatching, so a RunFinished
+                # subscriber reading session.report sees the finished run.
+                if isinstance(event, RunFinished):
+                    self._report = event.report
+                self._bus.emit(event)
+                yield event
 
     def run(self) -> DetectionReport:
         """Execute the complete audit and return the final report."""
@@ -431,10 +436,11 @@ class BatchSession:
         executor = create_executor(jobs, {plan.key: plan.work_unit for plan in plans})
         reports: List[DetectionReport] = []
         try:
-            for event in run_plans(plans, executor):
-                self._bus.emit(event)
-                if isinstance(event, RunFinished):
-                    reports.append(event.report)
+            with progress_sink(self._bus.emit):
+                for event in run_plans(plans, executor):
+                    self._bus.emit(event)
+                    if isinstance(event, RunFinished):
+                        reports.append(event.report)
         finally:
             executor.close()
         # Report the parallelism the runs actually saw, not the requested

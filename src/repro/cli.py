@@ -66,6 +66,7 @@ from repro.api import (
     RunEvent,
     RunFinished,
     RunStarted,
+    SolverProgress,
     StructurallyDischarged,
     Waiver,
     parse_input_list,
@@ -220,6 +221,16 @@ def _add_output_options(parser: argparse.ArgumentParser) -> None:
         "--verbose", "-v", action="store_true",
         help="stream per-property run events as they settle",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record spans across the whole pipeline (worker processes "
+             "included) and write a Chrome trace_event JSON to FILE "
+             "(view in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="trace the run and print a per-phase wall-time breakdown",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("file", metavar="FILE", help="JSON report produced with --json")
     report_parser.add_argument(
         "--json", action="store_true", help="re-emit the normalized JSON instead of the summary"
+    )
+    report_parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase time breakdown of a traced report "
+             "(runs recorded with --trace/--profile)",
     )
 
     cache_parser = subparsers.add_parser(
@@ -445,6 +461,7 @@ def _shared_config_kwargs(args: argparse.Namespace) -> dict:
         fraig_rounds=args.fraig_rounds,
         inprocess=not args.no_inprocess,
         sim_backend=args.sim_backend,
+        trace=bool(getattr(args, "trace", None)) or bool(getattr(args, "profile", False)),
     )
 
 
@@ -508,6 +525,10 @@ def _print_event(event: RunEvent, file=None) -> None:
     elif isinstance(event, CexWaived):
         print(f"  {event.label:24s} waived spurious counterexample "
               f"via {', '.join(event.signals)}", file=out)
+    elif isinstance(event, SolverProgress):
+        print(f"  {event.label:24s} solving... {event.conflicts} conflicts, "
+              f"{event.restarts} restarts, {event.learned_clauses} learned, "
+              f"decision level {event.decision_level}", file=out)
 
 
 def _emit_json(args: argparse.Namespace, document: str, summary: str) -> None:
@@ -526,41 +547,92 @@ def _emit_json(args: argparse.Namespace, document: str, summary: str) -> None:
 
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    if args.benchmark:
-        if args.golden or args.golden_top:
-            parser.error("--golden/--golden-top apply to --verilog designs only; "
-                         "benchmarks use their catalogued golden model")
-        design = Design.from_benchmark(args.benchmark)
-    else:
-        if not args.top:
-            parser.error("--top is required with --verilog")
-        if args.golden and not args.golden_top:
-            parser.error("--golden needs --golden-top to name the golden module")
-        if args.golden_top and args.mode != "sequential":
-            # Silently ignoring the golden model would let a forgotten
-            # --mode sequential print a SECURE verdict that compared nothing.
-            parser.error("--golden-top/--golden require --mode sequential")
-        design = Design.from_file(
-            args.verilog,
-            top=args.top,
-            golden_top=args.golden_top,
-            golden_path=args.golden,
-        )
+    from repro.obs.trace import span as _span
 
-    session = DetectionSession(design, config=_config_from_args(args, design))
-    if args.verbose:
-        event_stream = sys.stderr if args.json else sys.stdout
-        for event in session.iter_results():
-            if not isinstance(event, RunFinished):
-                _print_event(event, file=event_stream)
-        report = session.report
-    else:
-        report = session.run()
+    tracer = _make_tracer(args)
+    with _install_tracer_if(tracer):
+        with _span("parse", source=args.benchmark or args.verilog):
+            if args.benchmark:
+                if args.golden or args.golden_top:
+                    parser.error("--golden/--golden-top apply to --verilog designs "
+                                 "only; benchmarks use their catalogued golden model")
+                design = Design.from_benchmark(args.benchmark)
+            else:
+                if not args.top:
+                    parser.error("--top is required with --verilog")
+                if args.golden and not args.golden_top:
+                    parser.error("--golden needs --golden-top to name the golden module")
+                if args.golden_top and args.mode != "sequential":
+                    # Silently ignoring the golden model would let a forgotten
+                    # --mode sequential print a SECURE verdict that compared
+                    # nothing.
+                    parser.error("--golden-top/--golden require --mode sequential")
+                design = Design.from_file(
+                    args.verilog,
+                    top=args.top,
+                    golden_top=args.golden_top,
+                    golden_path=args.golden,
+                )
+
+        session = DetectionSession(design, config=_config_from_args(args, design))
+        if args.verbose:
+            event_stream = sys.stderr if args.json else sys.stdout
+            # Heartbeats are transient (bus-only, never part of the merged
+            # class-ordered stream), so verbose mode watches the bus for them.
+            session.subscribe(
+                lambda event: _print_event(event, file=event_stream),
+                event_type=SolverProgress,
+                safe=True,
+            )
+            for event in session.iter_results():
+                if not isinstance(event, RunFinished):
+                    _print_event(event, file=event_stream)
+            report = session.report
+        else:
+            report = session.run()
 
     _emit_json(args, report.to_json(), report.summary())
     if args.vcd:
         _write_cex_vcd(args.vcd, report, design)
+    _emit_trace(args, tracer)
     return 0 if report.is_secure else 1
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A fresh Tracer when ``--trace``/``--profile`` ask for one, else None."""
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        from repro.obs.trace import Tracer
+
+        return Tracer()
+    return None
+
+
+def _install_tracer_if(tracer):
+    """``install_tracer(tracer)`` or a no-op context when tracing is off."""
+    if tracer is None:
+        from contextlib import nullcontext
+
+        return nullcontext()
+    from repro.obs.trace import install_tracer
+
+    return install_tracer(tracer)
+
+
+def _emit_trace(args: argparse.Namespace, tracer) -> None:
+    """Write the Chrome trace file and/or print the per-phase breakdown."""
+    if tracer is None:
+        return
+    import json as _json
+
+    from repro.obs.trace import format_profile, phase_profile
+
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            _json.dump(tracer.to_chrome_trace(), handle)
+        print(f"trace written to {args.trace} ({len(tracer)} spans)", file=sys.stderr)
+    if args.profile:
+        out = sys.stderr if args.json else sys.stdout
+        print(format_profile(phase_profile(tracer.export())), file=out)
 
 
 def _write_cex_vcd(path: str, report: DetectionReport, design: Design) -> None:
@@ -620,8 +692,11 @@ def _cmd_batch(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     for name in _select_benchmarks(args, parser):
         batch.add(name)
 
-    report = batch.run()
+    tracer = _make_tracer(args)
+    with _install_tracer_if(tracer):
+        report = batch.run()
     _emit_json(args, report.to_json(), report.summary())
+    _emit_trace(args, tracer)
     return 0 if report.all_secure else 1
 
 
@@ -666,9 +741,21 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         raise ReproError(f"{args.file!r} does not look like a JSON report")
     if "reports" in data:
         batch = BatchReport.from_dict(data)
+        if args.profile:
+            from repro.obs.trace import format_profile
+
+            for entry in batch.reports:
+                print(f"{entry.design}:")
+                print("  " + format_profile(entry.profile or {}).replace("\n", "\n  "))
+            return 0 if batch.all_secure else 1
         print(batch.to_json() if args.json else batch.summary())
         return 0 if batch.all_secure else 1
     report = DetectionReport.from_dict(data)
+    if args.profile:
+        from repro.obs.trace import format_profile
+
+        print(format_profile(report.profile or {}))
+        return 0 if report.is_secure else 1
     print(report.to_json() if args.json else report.summary())
     return 0 if report.is_secure else 1
 
@@ -736,7 +823,7 @@ def _submission_config_dict(args: argparse.Namespace) -> dict:
         **_shared_config_kwargs(args),
     )
     data = config.to_dict()
-    for knob in ("jobs", "cache_dir", "use_cache"):
+    for knob in ("jobs", "cache_dir", "use_cache", "trace"):
         data.pop(knob, None)
     return data
 
@@ -744,6 +831,11 @@ def _submission_config_dict(args: argparse.Namespace) -> dict:
 def _cmd_submit(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.serve.client import AuditFailedError, ServeClient
 
+    if args.trace or args.profile:
+        # Tracing is a local execution knob; the daemon runs audits
+        # untraced so served reports stay byte-identical to local runs.
+        print("note: served audits are not traced; --trace/--profile ignored",
+              file=sys.stderr)
     body: dict = {
         "config": _submission_config_dict(args),
         "use_recommended_waivers": not args.no_recommended_waivers,

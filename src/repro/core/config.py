@@ -177,6 +177,13 @@ class DetectionConfig:
         ``"numpy"`` forces the vectorized kernel (falling back to Python
         when numpy is missing).  The kernels are bit-identical, so this is
         purely an execution knob.
+    trace:
+        When true, the run records hierarchical spans (:mod:`repro.obs`):
+        worker chunks collect per-phase timings and ship them back with
+        their result records, and the report carries a per-phase profile.
+        A pure execution knob like ``jobs``: excluded from the config
+        fingerprint, stripped by report normalization, zero behavior
+        change when off.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -197,6 +204,7 @@ class DetectionConfig:
     fraig_rounds: int = 1
     inprocess: bool = True
     sim_backend: str = "auto"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -224,6 +232,8 @@ class DetectionConfig:
         _require_int(self.fraig_rounds, "fraig_rounds", 0)
         if not isinstance(self.inprocess, bool):
             raise ConfigError(f"inprocess must be a bool, got {self.inprocess!r}")
+        if not isinstance(self.trace, bool):
+            raise ConfigError(f"trace must be a bool, got {self.trace!r}")
         from repro.aig.simvec import SIM_BACKENDS
 
         if self.sim_backend not in SIM_BACKENDS:
@@ -271,6 +281,7 @@ class DetectionConfig:
             "fraig_rounds": self.fraig_rounds,
             "inprocess": self.inprocess,
             "sim_backend": self.sim_backend,
+            "trace": self.trace,
         }
 
     @classmethod

@@ -12,6 +12,7 @@ the same typed events.  The lifecycle of one run is::
         StructurallyDischarged(k)       settled on the AIG, no SAT involved
         -- or, during the SAT phase, still in class order --
         ClassSimFalsified(k)            random simulation flipped the miter
+        SolverProgress(k)               heartbeat every N conflicts of a solve
         CexFound(k)                     a counterexample was found
         CexWaived(k)                    ... and resolved as spurious (Sec. V-B)
         ClassProven(k)                  the class holds after SAT search
@@ -308,6 +309,55 @@ class ClassSimFalsified(ClassEvent):
 
 
 @dataclass(frozen=True)
+class SolverProgress(ClassEvent):
+    """Heartbeat from a running CDCL solve, every N conflicts.
+
+    Emitted by the pure-Python :class:`repro.sat.solver.SatSolver` while a
+    hard class is being settled, so live consumers (the CLI's verbose mode,
+    SSE streaming clients of the serve daemon) see a long solve *move*.
+    All counters are per-call (relative to this solve call's entry), and
+    ``decision_level`` is the level at emission time.
+
+    Heartbeats are transient telemetry: they flow through the EventBus and
+    SSE live feeds but are never recorded in result records, reports, or
+    the serve journal — replaying a finished audit yields none.
+    """
+
+    kind: str = "fanout"
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    decision_level: int = 0
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(
+            kind=self.kind,
+            conflicts=self.conflicts,
+            restarts=self.restarts,
+            learned_clauses=self.learned_clauses,
+            decision_level=self.decision_level,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolverProgress":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            kind=data.get("kind", "fanout"),
+            conflicts=data["conflicts"],
+            restarts=data["restarts"],
+            learned_clauses=data["learned_clauses"],
+            decision_level=data["decision_level"],
+        )
+
+
+@dataclass(frozen=True)
 class CexFound(ClassEvent):
     """The SAT search produced a counterexample for this class.
 
@@ -430,6 +480,7 @@ WIRE_EVENT_TYPES: Dict[str, Type[RunEvent]] = {
         PropertyScheduled,
         ConeSimplified,
         ClassSimFalsified,
+        SolverProgress,
         StructurallyDischarged,
         ClassProven,
         CexFound,

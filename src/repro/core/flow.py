@@ -36,6 +36,7 @@ from repro.exec.cache import ResultCache
 from repro.exec.executor import ContextSeed, create_executor
 from repro.exec.scheduler import DesignPlan, run_plans
 from repro.ipc.engine import IpcEngine
+from repro.obs.trace import span as _obs_span
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
 from repro.rtl.netlist import DependencyGraph
@@ -153,16 +154,17 @@ class TrojanDetectionFlow:
         :class:`RunFinished` carrying the complete report.
         """
         cache = open_result_cache(self._config)
-        plan = DesignPlan.build(
-            key=self._design_name,
-            name=self._design_name,
-            module=self._module,
-            config=self._config,
-            analysis=self._analysis,
-            graph=self._graph,
-            cache=cache,
-            golden=self._golden,
-        )
+        with _obs_span("plan", design=self._design_name):
+            plan = DesignPlan.build(
+                key=self._design_name,
+                name=self._design_name,
+                module=self._module,
+                config=self._config,
+                analysis=self._analysis,
+                graph=self._graph,
+                cache=cache,
+                golden=self._golden,
+            )
         # Sequential contexts own a SequentialUnroller instead of an IPC
         # engine; seeding the flow's engine there would build (and leak) an
         # engine no sequential class ever uses.

@@ -33,12 +33,14 @@ from repro.rtl.fanout import FanoutAnalysis
 #: telemetry of the simulation-guided simplification subsystem.
 #: v5: added the CDCL search-dynamics counters to the ``solver`` block
 #: (restarts, learned_clauses, deleted_clauses).
-SCHEMA_VERSION = 5
+#: v6: added the optional ``profile`` block (per-phase wall-time breakdown
+#: aggregated from spans; null unless the run was traced).
+SCHEMA_VERSION = 6
 
 #: Versions ``from_dict`` can still read.  Older versions are accepted
-#: because v2..v5 are purely additive (missing blocks and fields default
+#: because v2..v6 are purely additive (missing blocks and fields default
 #: when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -149,6 +151,11 @@ class DetectionReport:
     preprocess_merged_nodes: int = 0
     preprocess_sim_falsified: int = 0
     preprocess_sweep_s: float = 0.0
+    # Per-phase wall-time breakdown aggregated from the run's spans (see
+    # :func:`repro.obs.trace.phase_profile`).  None unless the run was
+    # traced; stripped by the determinism comparisons like every other
+    # timing field.
+    profile: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ #
     # Convenience queries
@@ -228,6 +235,7 @@ class DetectionReport:
                 "sim_falsified": self.preprocess_sim_falsified,
                 "sweep_s": self.preprocess_sweep_s,
             },
+            "profile": self.profile,
             "outcomes": [_outcome_to_dict(outcome) for outcome in self.outcomes],
             "counterexample": _cex_to_dict(self.counterexample),
             "diagnosis": _diagnosis_to_dict(self.diagnosis),
@@ -281,6 +289,7 @@ class DetectionReport:
                 preprocess_merged_nodes=preprocess.get("merged_nodes", 0),
                 preprocess_sim_falsified=preprocess.get("sim_falsified", 0),
                 preprocess_sweep_s=preprocess.get("sweep_s", 0.0),
+                profile=data.get("profile"),
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ReproError(f"malformed serialized report: {error}") from error
@@ -327,6 +336,12 @@ class DetectionReport:
                 f"({self.preprocess_nodes_before} -> "
                 f"{self.preprocess_nodes_after} cone nodes, "
                 f"{self.preprocess_sweep_s:.2f} s)"
+            )
+        if self.profile:
+            lines.append(
+                f"  phases: preprocess {self.profile.get('preprocess_s', 0.0):.2f} s"
+                f" / solve {self.profile.get('solve_s', 0.0):.2f} s"
+                f" (spans total {self.profile.get('total_s', 0.0):.2f} s)"
             )
         if self.solver_calls:
             stats = self.solver_stats()

@@ -46,6 +46,7 @@ from repro.aig.simvec import DEFAULT_PATTERNS
 from repro.errors import ConfigError, DesignError
 from repro.ipc.cex import CounterExample
 from repro.ipc.transition import SymbolicFrame, TransitionEncoder
+from repro.obs.trace import span as _obs_span
 from repro.rtl.ir import Module
 from repro.sat.context import SolverContext
 
@@ -317,19 +318,20 @@ class SequentialUnroller:
         outputs = list(names)
         result = SequentialCheckResult(outputs=outputs, depth=depth, holds=True)
 
-        self.unroll_to(depth)
-        # Outputs with a combinational input path sample the input at the
-        # compared cycle itself, so the topmost frame must be shared too —
-        # and before any difference cone materialises an unshared leaf.
-        self._share_inputs_at(depth)
-        difference_by_cycle: List[List[Tuple[str, int]]] = [
-            [(name, self._difference_literal(cycle, name)) for name in outputs]
-            for cycle in range(1, depth + 1)
-        ]
+        with _obs_span("unroll", depth=depth, outputs=len(outputs)):
+            self.unroll_to(depth)
+            # Outputs with a combinational input path sample the input at the
+            # compared cycle itself, so the topmost frame must be shared too —
+            # and before any difference cone materialises an unshared leaf.
+            self._share_inputs_at(depth)
+            difference_by_cycle: List[List[Tuple[str, int]]] = [
+                [(name, self._difference_literal(cycle, name)) for name in outputs]
+                for cycle in range(1, depth + 1)
+            ]
 
-        miter = self._aig.or_many(
-            [literal for cycle in difference_by_cycle for _, literal in cycle]
-        )
+            miter = self._aig.or_many(
+                [literal for cycle in difference_by_cycle for _, literal in cycle]
+            )
         if miter == FALSE:
             # Both cones hashed to the same literals at every compared cycle:
             # equivalence holds structurally, no solver involved.

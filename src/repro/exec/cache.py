@@ -26,6 +26,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
+from repro.obs.trace import span as _span
 
 
 class ResultCache:
@@ -56,14 +57,15 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The record stored under ``key``, or None (miss / unusable entry)."""
         path = self._path_for(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.corrupt_skipped += 1
-            return None
+        with _span("cache", op="get"):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    entry = json.load(handle)
+            except FileNotFoundError:
+                return None
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                self.corrupt_skipped += 1
+                return None
         if (
             not isinstance(entry, dict)
             or entry.get("cache_schema") != CACHE_SCHEMA_VERSION
@@ -82,23 +84,24 @@ class ResultCache:
         """
         path = self._path_for(key)
         entry = {"cache_schema": CACHE_SCHEMA_VERSION, "key": key, "record": record}
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=".tmp-", suffix=".json", dir=str(path.parent)
-            )
+        with _span("cache", op="put"):
             try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(entry, handle, sort_keys=True)
-                os.replace(tmp_name, path)
-            except BaseException:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                fd, tmp_name = tempfile.mkstemp(
+                    prefix=".tmp-", suffix=".json", dir=str(path.parent)
+                )
                 try:
-                    os.unlink(tmp_name)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            pass
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(entry, handle, sort_keys=True)
+                    os.replace(tmp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ #
     # Maintenance

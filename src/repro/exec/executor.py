@@ -222,6 +222,16 @@ def _pool_worker_main(worker_name, units, task_queue, result_queue) -> None:
     never as a dead worker, so the parent can fail loudly with the original
     traceback.
     """
+    # Fork copies the parent's contextvars: a parent-installed tracer or
+    # progress sink would silently collect into objects whose consumers live
+    # on the other side of the fork.  Worker spans travel through the chunk
+    # stats channel instead (run_chunk installs its own tracer), and worker
+    # heartbeats are dropped by design — they cannot reach a live consumer.
+    from repro.obs import progress as _obs_progress
+    from repro.obs import trace as _obs_trace
+
+    _obs_trace.clear()
+    _obs_progress.clear()
     contexts = ContextPool(lambda design_key: DesignWorkContext(units[design_key]))
     while True:
         task = task_queue.get()

@@ -146,6 +146,11 @@ def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
     influence would only make warm caches go cold.  A sequential rerun at
     the *same* depth therefore replays entirely from cache even when the
     waiver list changes, while a deeper bound misses and re-proves.
+
+    Pure execution knobs — ``jobs``, ``cache_dir``, ``use_cache``,
+    ``sim_backend``, ``trace`` — are deliberately excluded: the allowlist
+    below feeds only the named semantic fields, so a traced run replays
+    (and populates) exactly the cache entries of an untraced one.
     """
     hasher = _Hasher()
     hasher.feed("config")

@@ -258,6 +258,9 @@ def normalized_report_dict(data: Dict[str, Any]) -> Dict[str, Any]:
     normalized.pop("solver", None)
     normalized.pop("execution", None)
     normalized.pop("preprocess", None)
+    # The phase profile is pure observability output: it exists only when
+    # tracing was on, and it is timing by definition.
+    normalized.pop("profile", None)
     for outcome in normalized.get("outcomes", []):
         for key in _VOLATILE_OUTCOME_KEYS:
             outcome.pop(key, None)

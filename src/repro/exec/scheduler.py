@@ -43,6 +43,7 @@ from repro.exec.fingerprint import (
 )
 from repro.exec.records import ClassResult, class_result_from_record, class_result_to_record
 from repro.exec.worker import WorkUnit, resolved_backend_name
+from repro.obs import trace as _obs_trace
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
 from repro.rtl.netlist import DependencyGraph
@@ -291,6 +292,17 @@ class DesignPlan:
         report.preprocess_sim_falsified = sum(1 for r in results if r.sim_falsified)
         report.preprocess_sweep_s = sum(r.sweep_seconds for r in results)
 
+        # Phase profile: aggregated from the worker-side spans each chunk
+        # carried home.  Attached only when tracing was requested — it is a
+        # pure observability payload, stripped by normalized_report_dict.
+        if self.config.trace:
+            spans = [
+                event
+                for cs in chunk_stats
+                for event in cs.stats.get("spans", ())
+            ]
+            report.profile = _obs_trace.phase_profile(spans)
+
         report.workers = workers
         if self.cache is not None:
             report.cache_hits = sum(1 for result in merged if result.from_cache)
@@ -391,6 +403,11 @@ def run_plans(plans: Sequence[DesignPlan], executor: Executor) -> Iterator[RunEv
                     consumed.add(task.task_id)
                     if not outcome.skipped:
                         chunk_stats.append(outcome)
+                        # Worker-side spans merge into the ambient tracer
+                        # (if any) so one traced run yields one timeline.
+                        spans = outcome.stats.get("spans")
+                        if spans:
+                            _obs_trace.absorb(spans)
                 result = next(
                     (entry for entry in outcome.results if entry.index == index), None
                 )

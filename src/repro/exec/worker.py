@@ -21,6 +21,7 @@ boundary (record round-trip).
 from __future__ import annotations
 
 import time as _time
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -33,6 +34,8 @@ from repro.core.unroll import SequentialUnroller, sequential_output_classes
 from repro.errors import ConfigError
 from repro.exec.records import ClassResult, SpuriousRound
 from repro.ipc.engine import IpcEngine, PropertyCheckResult
+from repro.obs import progress as _progress
+from repro.obs import trace as _trace
 from repro.ipc.prop import IntervalProperty
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
@@ -293,6 +296,16 @@ class DesignWorkContext:
         already ran on a virgin engine with canonical settings — that settle
         *is* the canonical one.
         """
+        if self._config.mode == "sequential":
+            kind = "sequential"
+        else:
+            kind = "init" if k == 0 else "fanout"
+        with _progress.progress_scope(self._unit.name, k, kind), _trace.span(
+            "settle", cls=k, kind=kind
+        ):
+            return self._settle_class_inner(k)
+
+    def _settle_class_inner(self, k: int) -> ClassResult:
         virgin = self._virgin
         result = self._settle_once(k)
         if (result.rounds or result.terminal == "cex") and not (
@@ -472,15 +485,24 @@ class DesignWorkContext:
         (plus the current CNF size snapshot and the chunk's worker-side wall
         time), so a scheduler can aggregate per-design totals from chunks
         that ran on different workers.
+
+        When the config asks for tracing, a chunk-local tracer is installed
+        around the settle loop and its spans travel back in the stats dict
+        (``stats["spans"]``, plain JSON-native dicts) — the one channel that
+        already crosses the worker-process boundary.  Pool and serial
+        executors thus merge traces identically, with no reliance on fork
+        semantics.
         """
         started = _time.perf_counter()
+        tracer = _trace.Tracer() if self._config.trace else None
         before = self.stats_snapshot()
         results: List[ClassResult] = []
-        for k in indices:
-            result = self.settle_class(k)
-            results.append(result)
-            if stop_on_failure and not result.outcome.holds:
-                break
+        with _trace.install_tracer(tracer) if tracer is not None else _nullcontext():
+            for k in indices:
+                result = self.settle_class(k)
+                results.append(result)
+                if stop_on_failure and not result.outcome.holds:
+                    break
         after = self.stats_snapshot()
         stats: Dict[str, object] = {
             "backend": self.backend_name(),
@@ -489,4 +511,6 @@ class DesignWorkContext:
         }
         for counter in _WORK_COUNTERS:
             stats[counter] = after[counter] - before[counter]
+        if tracer is not None:
+            stats["spans"] = tracer.export()
         return results, stats

@@ -31,6 +31,7 @@ from repro.aig.simvec import DEFAULT_PATTERNS
 from repro.errors import PropertyError
 from repro.ipc.cex import CounterExample
 from repro.ipc.prop import Equality, IntervalProperty, Term
+from repro.obs.trace import span as _obs_span
 from repro.ipc.transition import SymbolicFrame, TransitionEncoder
 from repro.rtl.ir import Module
 from repro.sat.context import SolverContext
@@ -232,23 +233,24 @@ class IpcEngine:
         window = prop.window()
         instances = prop.instances()
 
-        frames: Dict[int, List[SymbolicFrame]] = {}
-        for instance in instances:
-            # Persistent-instance frames survive across properties; the leaves
-            # of the other instances depend on the property's merge set, so
-            # they are rebuilt for every check.
-            persistent = instance in self._persistent_instances
-            frames[instance] = self._frames_for_instance(instance, window, persistent)
+        with _obs_span("bitblast", prop=prop.name):
+            frames: Dict[int, List[SymbolicFrame]] = {}
+            for instance in instances:
+                # Persistent-instance frames survive across properties; the
+                # leaves of the other instances depend on the property's
+                # merge set, so they are rebuilt for every check.
+                persistent = instance in self._persistent_instances
+                frames[instance] = self._frames_for_instance(instance, window, persistent)
 
-        merged, clause_assumptions = self._apply_assumption_merging(prop, frames, window)
+            merged, clause_assumptions = self._apply_assumption_merging(prop, frames, window)
 
-        # Bit-blast both sides of every commitment.
-        obligations: List[Tuple[Equality, Vector, Vector, int]] = []
-        for commitment in prop.commitments:
-            left_vector = self._term_vector(commitment.left, frames)
-            right_vector = self._constraint_rhs_vector(commitment, frames, left_vector)
-            difference = self._difference_literal(left_vector, right_vector)
-            obligations.append((commitment, left_vector, right_vector, difference))
+            # Bit-blast both sides of every commitment.
+            obligations: List[Tuple[Equality, Vector, Vector, int]] = []
+            for commitment in prop.commitments:
+                left_vector = self._term_vector(commitment.left, frames)
+                right_vector = self._constraint_rhs_vector(commitment, frames, left_vector)
+                difference = self._difference_literal(left_vector, right_vector)
+                obligations.append((commitment, left_vector, right_vector, difference))
 
         pending = [entry for entry in obligations if entry[3] != FALSE]
         result = PropertyCheckResult(

@@ -1,0 +1,38 @@
+"""Observability: span tracing, metrics, and solver progress heartbeats.
+
+Three independent facilities, all strictly *execution knobs* — none of them
+may ever change a verdict, a report's normalized form, or a config
+fingerprint:
+
+* :mod:`repro.obs.trace` — contextvar-scoped hierarchical spans exported as
+  Chrome ``trace_event`` JSON (``repro run --trace out.json``) and per-phase
+  breakdown tables (``--profile``).
+* :mod:`repro.obs.metrics` — a thread-safe counter/gauge/histogram registry
+  with Prometheus text exposition, served at ``/metrics`` by the audit
+  daemon.
+* :mod:`repro.obs.progress` — solver progress heartbeats: a sink callback
+  installed around a run receives a :class:`repro.core.events.SolverProgress`
+  event every N conflicts of a hard CDCL solve.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import active_heartbeat, progress_scope, progress_sink
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    install_tracer,
+    phase_profile,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "active_heartbeat",
+    "current_tracer",
+    "install_tracer",
+    "phase_profile",
+    "progress_scope",
+    "progress_sink",
+    "span",
+]

@@ -1,0 +1,232 @@
+"""A small thread-safe metrics registry with Prometheus text exposition.
+
+Counters, gauges, and histograms, stdlib-only, rendered in the Prometheus
+text exposition format (version 0.0.4) for the audit daemon's ``/metrics``
+endpoint.  No label support — every metric here is a daemon-global series,
+which keeps the registry trivially correct under the serve daemon's
+thread-pool concurrency (one lock around every mutation and the render).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Default histogram buckets: latencies from 5 ms to ~5 min, log-spaced.
+DEFAULT_BUCKETS = (
+    0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample values: integers render without a trailing ``.0``."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help = help_text
+        self.value = 0.0
+
+    def render(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} counter",
+            f"{self.name} {_format_value(self.value)}",
+        ]
+
+
+class Gauge:
+    """A value that can go up and down; optionally computed at render time."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.value = 0.0
+        self.fn = fn
+
+    def render(self) -> List[str]:
+        value = self.value
+        if self.fn is not None:
+            try:
+                value = float(self.fn())
+            except Exception:  # noqa: BLE001 - scraping must never fail
+                value = self.value
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_format_value(value)}",
+        ]
+
+
+class Histogram:
+    """Cumulative-bucket histogram with ``_sum``/``_count`` series."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def render(self) -> List[str]:
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} histogram",
+        ]
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            cumulative = count  # bucket_counts are already cumulative
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self.count}')
+        lines.append(f"{self.name}_sum {_format_value(self.sum)}")
+        lines.append(f"{self.name}_count {self.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named metrics, rendered Prometheus-style.
+
+    Metrics are created on first use (``inc``/``set_gauge``/``observe``
+    auto-register), so instrumentation sites never need a handle to a
+    pre-declared metric object.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and mutation
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Counter(name, help_text)
+                self._metrics[name] = metric
+            if not isinstance(metric, Counter):
+                raise TypeError(f"metric {name!r} is not a counter")
+            return metric
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str = "",
+        fn: Optional[Callable[[], float]] = None,
+    ) -> Gauge:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Gauge(name, help_text, fn)
+                self._metrics[name] = metric
+            if not isinstance(metric, Gauge):
+                raise TypeError(f"metric {name!r} is not a gauge")
+            if fn is not None:
+                metric.fn = fn
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = Histogram(name, help_text, buckets)
+                self._metrics[name] = metric
+            if not isinstance(metric, Histogram):
+                raise TypeError(f"metric {name!r} is not a histogram")
+            return metric
+
+    def inc(self, name: str, amount: float = 1.0, help_text: str = "") -> None:
+        """Increment counter ``name`` by ``amount`` (creating it if needed)."""
+        if amount < 0:
+            raise ValueError(f"counter {name!r} cannot decrease (amount={amount})")
+        counter = self.counter(name, help_text)
+        with self._lock:
+            counter.value += amount
+
+    def set_gauge(self, name: str, value: float, help_text: str = "") -> None:
+        gauge = self.gauge(name, help_text)
+        with self._lock:
+            gauge.value = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        histogram = self.histogram(name, help_text, buckets)
+        with self._lock:
+            histogram.observe(value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection and exposition
+    # ------------------------------------------------------------------ #
+
+    def value(self, name: str) -> float:
+        """Current value of a counter or gauge (0.0 when unregistered)."""
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                return 0.0
+            if isinstance(metric, Gauge) and metric.fn is not None:
+                return float(metric.fn())
+            return float(getattr(metric, "value", getattr(metric, "sum", 0.0)))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Scalar view of every metric (histograms expose their sums)."""
+        with self._lock:
+            result: Dict[str, float] = {}
+            for name, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Histogram):
+                    result[f"{name}_sum"] = metric.sum
+                    result[f"{name}_count"] = float(metric.count)
+                elif isinstance(metric, Gauge) and metric.fn is not None:
+                    try:
+                        result[name] = float(metric.fn())
+                    except Exception:  # noqa: BLE001
+                        result[name] = metric.value
+                else:
+                    result[name] = metric.value
+            return result
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: List[str] = []
+        for _name, metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Union
 
 from repro.aig.aig import AIG
 from repro.aig.cnf import CnfBuilder
+from repro.obs.trace import span as _span
 from repro.sat.backend import SatBackend, create_backend
 from repro.sat.solver import SatResult
 
@@ -82,7 +83,10 @@ class SolverContext:
         """Flush newly encoded clauses and solve under ``assumptions``."""
         reused = self._clauses_fed
         new_clauses = self.flush()
-        result = self._backend.solve(assumptions=assumptions, conflict_limit=conflict_limit)
+        with _span("solve", backend=self._backend.name, new_clauses=new_clauses):
+            result = self._backend.solve(
+                assumptions=assumptions, conflict_limit=conflict_limit
+            )
         return ContextSolveOutcome(
             result=result,
             new_clauses=new_clauses,
@@ -108,11 +112,12 @@ class SolverContext:
         variables instead of referencing a variable the solver removed.
         """
         self.flush()
-        stats = self._backend.inprocess(
-            candidate_vars=self._builder.eliminable_vars(),
-            max_vivify=max_vivify,
-            max_occurrences=max_occurrences,
-        )
+        with _span("inprocess", backend=self._backend.name):
+            stats = self._backend.inprocess(
+                candidate_vars=self._builder.eliminable_vars(),
+                max_vivify=max_vivify,
+                max_occurrences=max_occurrences,
+            )
         eliminated = stats.get("eliminated") or []
         if eliminated:
             stats["invalidated_nodes"] = self._builder.invalidate_vars(eliminated)

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SolverError
+from repro.obs.progress import active_heartbeat
 
 
 @dataclass
@@ -661,6 +662,9 @@ class SatSolver:
             self._learned_total,
             self._deleted_total,
         )
+        # Progress heartbeats (repro.obs.progress): resolved once per call,
+        # so with no sink installed the conflict loop pays nothing.
+        heartbeat = active_heartbeat()
         if self._unsat:
             return self._result(False)
         self._backtrack(0)
@@ -678,6 +682,16 @@ class SatSolver:
             if conflict is not None:
                 self._conflicts += 1
                 conflicts_at_restart += 1
+                if (
+                    heartbeat is not None
+                    and (self._conflicts - self._call_base[0]) % heartbeat.interval == 0
+                ):
+                    heartbeat.emit(
+                        conflicts=self._conflicts - self._call_base[0],
+                        restarts=self._restarts - self._call_base[3],
+                        learned_clauses=self._learned_total - self._call_base[4],
+                        decision_level=self._decision_level(),
+                    )
                 if conflict_limit is not None and self._conflicts - self._call_base[0] >= conflict_limit:
                     # Leave the persistent solver in a reusable state.
                     self._backtrack(0)

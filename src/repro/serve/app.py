@@ -20,6 +20,13 @@ Endpoints (all JSON unless noted)::
     GET  /v1/audits/<id>          one job
     GET  /v1/audits/<id>/events   live Server-Sent-Events stream of run events
     GET  /v1/audits/<id>/report   the finished schema-v5 detection report
+    GET  /metrics                 Prometheus text exposition (queue, cache,
+                                  solver and job counters; not JSON)
+
+Live SSE streams additionally carry transient ``SolverProgress`` heartbeats
+emitted by the solver every few thousand conflicts, so a client watching a
+hard solve sees it move; heartbeats are never journaled and never appear in
+terminal-job replays.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ import json
 import logging
 import os
 import threading
+import time as _time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 from urllib.parse import urlsplit
@@ -38,6 +46,8 @@ from repro.errors import ReproError
 from repro.exec.cache import ResultCache
 from repro.exec.executor import create_executor
 from repro.exec.scheduler import DesignPlan, run_plans
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.progress import progress_sink
 from repro.serve import sse
 from repro.serve.protocol import (
     SERVE_PROTOCOL_VERSION,
@@ -125,10 +135,41 @@ class AuditServer:
         self._runtimes_lock = threading.Lock()
         self._counters = {"submitted": 0, "deduplicated": 0, "completed": 0, "failed": 0}
         self._counters_lock = threading.Lock()
+        self.metrics = MetricsRegistry()
+        self._register_metrics()
         self._stopping = threading.Event()
         self._workers: List[threading.Thread] = []
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
+
+    def _register_metrics(self) -> None:
+        """Pre-declare every series so a scrape before the first job already
+        sees them at zero (Prometheus counters must exist to be monotonic)."""
+        metrics = self.metrics
+        for state in ("submitted", "deduplicated", "completed", "failed"):
+            metrics.counter(f"repro_jobs_{state}_total", f"Jobs {state} since daemon start")
+        metrics.gauge(
+            "repro_queue_depth",
+            "Jobs currently waiting in the queue",
+            fn=self.queue.queued_depth,
+        )
+        metrics.histogram(
+            "repro_queue_wait_seconds", "Seconds jobs waited between submit and claim"
+        )
+        metrics.histogram(
+            "repro_audit_run_seconds", "Wall seconds per audit, claim to verdict"
+        )
+        metrics.counter("repro_cache_hits_total", "Result-cache class replays")
+        metrics.counter("repro_cache_misses_total", "Result-cache class misses")
+        metrics.counter("repro_solver_conflicts_total", "CDCL conflicts across served audits")
+        metrics.counter("repro_solver_restarts_total", "CDCL restarts across served audits")
+        metrics.counter(
+            "repro_solver_learned_clauses_total", "Learned clauses across served audits"
+        )
+        metrics.counter(
+            "repro_preprocess_nodes_removed_total",
+            "AIG cone nodes removed by preprocessing across served audits",
+        )
 
     # ------------------------------------------------------------------ #
     # life cycle
@@ -212,6 +253,11 @@ class AuditServer:
     def _run_audit(self, job) -> None:
         runtime = self._runtime_for(job.id)
         events: List[Dict[str, Any]] = []
+        if job.started_s is not None and job.created_s:
+            self.metrics.observe(
+                "repro_queue_wait_seconds", max(0.0, job.started_s - job.created_s)
+            )
+        run_started = _time.perf_counter()
         try:
             submission = submission_from_dict(job.submission)
             design = build_design(submission)
@@ -229,20 +275,27 @@ class AuditServer:
             )
             executor = create_executor(1, {plan.key: plan.work_unit})
             report: Optional[Dict[str, Any]] = None
-            for event in run_plans([plan], executor):
-                payload = event.to_dict()
-                events.append(payload)
-                runtime.append(payload)
-                if isinstance(event, RunFinished):
-                    report = event.report.to_dict()
+            # Solver heartbeats feed the live SSE stream only: they are
+            # transient progress, never journaled with the run's events.
+            with progress_sink(lambda event: runtime.append(event.to_dict())):
+                for event in run_plans([plan], executor):
+                    payload = event.to_dict()
+                    events.append(payload)
+                    runtime.append(payload)
+                    if isinstance(event, RunFinished):
+                        report = event.report.to_dict()
             self.queue.finish(job.id, report, events)
             self._bump("completed")
+            self._observe_report(report)
             logger.info("job %s done (%s)", job.id, job.design_name)
         except Exception as error:
             self.queue.fail(job.id, f"{type(error).__name__}: {error}", events)
             self._bump("failed")
             logger.exception("job %s failed", job.id)
         finally:
+            self.metrics.observe(
+                "repro_audit_run_seconds", _time.perf_counter() - run_started
+            )
             # The runtime stays registered: late-attaching streamers of a
             # finished job replay the journal, but one that raced the
             # completion still needs the finished flag to terminate.
@@ -251,6 +304,25 @@ class AuditServer:
     def _bump(self, counter: str) -> None:
         with self._counters_lock:
             self._counters[counter] += 1
+        self.metrics.inc(f"repro_jobs_{counter}_total")
+
+    def _observe_report(self, report: Optional[Dict[str, Any]]) -> None:
+        """Fold one finished report's accounting into the daemon counters."""
+        if not report:
+            return
+        solver = report.get("solver") or {}
+        self.metrics.inc("repro_solver_conflicts_total", solver.get("conflicts", 0))
+        self.metrics.inc("repro_solver_restarts_total", solver.get("restarts", 0))
+        self.metrics.inc(
+            "repro_solver_learned_clauses_total", solver.get("learned_clauses", 0)
+        )
+        execution = report.get("execution") or {}
+        self.metrics.inc("repro_cache_hits_total", execution.get("cache_hits", 0))
+        self.metrics.inc("repro_cache_misses_total", execution.get("cache_misses", 0))
+        preprocess = report.get("preprocess") or {}
+        removed = preprocess.get("nodes_before", 0) - preprocess.get("nodes_after", 0)
+        if removed > 0:
+            self.metrics.inc("repro_preprocess_nodes_removed_total", removed)
 
     # ------------------------------------------------------------------ #
     # request-side helpers (called from handler threads)
@@ -321,6 +393,16 @@ def _make_handler(server: AuditServer):
         def _send_error_json(self, status: int, message: str) -> None:
             self._send_json(status, {"error": message})
 
+        def _send_metrics(self) -> None:
+            body = server.metrics.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         # -------------------------------------------------------------- #
         # routing
         # -------------------------------------------------------------- #
@@ -339,6 +421,8 @@ def _make_handler(server: AuditServer):
                     )
                 elif path == "/v1/stats":
                     self._send_json(200, server.stats())
+                elif path == "/metrics":
+                    self._send_metrics()
                 elif path == "/v1/audits":
                     self._send_json(
                         200,

@@ -202,11 +202,15 @@ def effective_config(
             f"mode; submit 'golden_top' (and optionally 'golden_verilog') or "
             f"pick a benchmark with a catalogued golden design"
         )
+    # trace is forced off like the other execution knobs: span collection
+    # is a local-CLI affair, and a served audit must stay byte-identical
+    # (normalized *and* raw timing layout) to an untraced local run.
     return replace(
         config,
         jobs=1,
         cache_dir=cache_dir,
         use_cache=use_cache,
+        trace=False,
     )
 
 

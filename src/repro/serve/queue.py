@@ -313,6 +313,11 @@ class JobQueue:
         """How many incomplete jobs the constructor replayed from disk."""
         return self._recovered
 
+    def queued_depth(self) -> int:
+        """Jobs currently waiting to be claimed (the ``/metrics`` gauge)."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == "queued")
+
     def stats(self) -> Dict[str, Any]:
         with self._lock:
             counts = {state: 0 for state in ("queued", "running", "done", "failed")}

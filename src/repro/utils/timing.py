@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 import tracemalloc
 from dataclasses import dataclass, field
@@ -9,13 +10,17 @@ from typing import Dict, List
 
 
 class Stopwatch:
-    """Accumulates named wall-clock durations.
+    """Accumulates named wall-clock durations (thread-safe).
 
     Used by the detection flow to report per-property proof runtimes, mirroring
-    the "1 to 3 seconds per property" measurement of the paper.
+    the "1 to 3 seconds per property" measurement of the paper.  Durations are
+    measured with ``time.perf_counter()`` — wall-clock ``time.time()`` can
+    jump under NTP adjustment and must only ever stamp absolute timestamps,
+    never measure intervals.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._durations: Dict[str, List[float]] = {}
 
     def time(self, name: str):
@@ -23,18 +28,22 @@ class Stopwatch:
         return _StopwatchSpan(self, name)
 
     def record(self, name: str, seconds: float) -> None:
-        self._durations.setdefault(name, []).append(seconds)
+        with self._lock:
+            self._durations.setdefault(name, []).append(seconds)
 
     def durations(self, name: str) -> List[float]:
-        return list(self._durations.get(name, []))
+        with self._lock:
+            return list(self._durations.get(name, []))
 
     def total(self, name: str | None = None) -> float:
-        if name is not None:
-            return sum(self._durations.get(name, []))
-        return sum(sum(values) for values in self._durations.values())
+        with self._lock:
+            if name is not None:
+                return sum(self._durations.get(name, []))
+            return sum(sum(values) for values in self._durations.values())
 
     def names(self) -> List[str]:
-        return list(self._durations)
+        with self._lock:
+            return list(self._durations)
 
 
 class _StopwatchSpan:

@@ -26,6 +26,7 @@ from repro.core.events import (
     RunEvent,
     RunFinished,
     RunStarted,
+    SolverProgress,
     StructurallyDischarged,
     WIRE_EVENT_TYPES,
     event_from_dict,
@@ -43,6 +44,7 @@ _SIMPLE_TYPES = (
     ConeSimplified,
     ClassSimFalsified,
     CexWaived,
+    SolverProgress,
 )
 
 
@@ -65,8 +67,9 @@ def harvested_events():
     A secure run contributes structural discharges, a trojaned check-all
     run contributes unresolvable counterexamples, and a feedback design
     with cross-class fanin contributes SAT proofs, sim-falsifications, and
-    waived spurious counterexamples.  Only ``ConeSimplified`` (which needs
-    a sweep-friendly cone shape) is synthesized.
+    waived spurious counterexamples.  ``ConeSimplified`` (which needs a
+    sweep-friendly cone shape) and ``SolverProgress`` (a heartbeat the
+    solver only emits on long solves) are synthesized.
     """
     # Load the sibling conftest by path: a bare `import conftest` can
     # resolve to another directory's conftest in a full-repo pytest run.
@@ -106,6 +109,17 @@ def harvested_events():
     events.append(
         ConeSimplified(
             design="pipe", index=1, nodes_before=24, nodes_after=9, merged_nodes=5
+        )
+    )
+    events.append(
+        SolverProgress(
+            design="pipe",
+            index=1,
+            kind="fanout",
+            conflicts=2048,
+            restarts=3,
+            learned_clauses=1500,
+            decision_level=12,
         )
     )
     return events

@@ -130,7 +130,7 @@ class TestFingerprints:
     # no record bit can depend on it (tests/test_sim_backends.py).
     _EXECUTION_ONLY_FIELDS = {
         "stop_at_first_failure", "max_class", "jobs", "cache_dir", "use_cache",
-        "sim_backend",
+        "sim_backend", "trace",
     }
     # Hashed through config_fingerprint's resolved backend_name parameter
     # (never the raw field, which may read "auto"); sensitivity is asserted
