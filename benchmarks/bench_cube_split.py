@@ -1,0 +1,153 @@
+"""Cube-and-conquer benchmark: monolithic vs split solving of a hard class.
+
+Audits ``benchmarks/cube_widget.v`` — the committed design whose class-1
+obligation (a 6-bit multiplier-commutativity identity over a free pipeline
+register) needs on the order of 2000 conflicts — once monolithically
+(``--no-split`` semantics) and then with cube splitting at 1, 2 and 4
+workers, and emits ``BENCH_cube.json`` with wall-clock times and cube
+counts.  It also asserts the determinism contract the executor refactor is
+built on: every configuration must produce the same verdict and the same
+normalized (telemetry-stripped) report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cube_split.py
+    PYTHONPATH=src python benchmarks/bench_cube_split.py \
+        --split-conflicts 200 --split-depth 2 --output BENCH_cube.json
+
+This is a standalone artefact script (plain timings, one JSON document), not
+a pytest-benchmark suite: its output feeds dashboards and CI trend lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+from repro.api import Design, DetectionConfig, DetectionSession
+from repro.exec import normalized_report_dict
+
+WIDGET_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "cube_widget.v")
+
+DEFAULT_JOB_COUNTS = (1, 2, 4)
+
+
+def _audit(design: Design, config: DetectionConfig) -> Dict[str, object]:
+    session = DetectionSession(design, config=config)
+    started = time.perf_counter()
+    report = session.run()
+    elapsed = time.perf_counter() - started
+    document = report.to_dict()
+    split_outcomes = [o for o in document["outcomes"] if o["cubes"] > 1]
+    return {
+        "jobs": config.jobs,
+        "split": config.split,
+        "elapsed_s": elapsed,
+        "verdict": document["verdict"],
+        "classes_split": len(split_outcomes),
+        "cubes": sum(o["cubes"] for o in split_outcomes),
+        "solver_conflicts": document["solver"]["conflicts"],
+        "normalized": normalized_report_dict(document),
+    }
+
+
+def run_benchmark(
+    split_conflicts: int, split_depth: int, job_counts=DEFAULT_JOB_COUNTS
+) -> Dict[str, object]:
+    design = Design.from_file(WIDGET_PATH, top="cube_widget")
+    runs: List[Dict[str, object]] = []
+
+    monolithic = _audit(design, DetectionConfig(split=False))
+    monolithic["phase"] = "monolithic"
+    runs.append(monolithic)
+
+    for jobs in job_counts:
+        result = _audit(
+            design,
+            DetectionConfig(
+                jobs=jobs,
+                split=True,
+                split_conflicts=split_conflicts,
+                split_depth=split_depth,
+            ),
+        )
+        result["phase"] = "split"
+        runs.append(result)
+
+    # Splitting must never change the audit's meaning, at any worker count.
+    baseline = runs[0].pop("normalized")
+    for run in runs[1:]:
+        if run.pop("normalized") != baseline:
+            raise AssertionError(
+                f"normalized report of phase={run['phase']} jobs={run['jobs']} "
+                "differs from the monolithic baseline"
+            )
+    for run in runs[1:]:
+        if run["cubes"] < 2:
+            raise AssertionError(
+                f"split run at jobs={run['jobs']} did not split "
+                f"(cubes={run['cubes']}): raise --split-conflicts headroom?"
+            )
+
+    baseline_elapsed = runs[0]["elapsed_s"]
+    for run in runs:
+        run["slowdown_vs_monolithic"] = (
+            run["elapsed_s"] / baseline_elapsed if baseline_elapsed > 0 else None
+        )
+    return {
+        "benchmark": "cube_split",
+        "design": "cube_widget",
+        "split_conflicts": split_conflicts,
+        "split_depth": split_depth,
+        "job_counts": list(job_counts),
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--split-conflicts", type=int, default=200, metavar="N",
+        help="conflict budget that trips the split (default: 200, well "
+             "below the widget's ~2000-conflict monolithic proof)",
+    )
+    parser.add_argument(
+        "--split-depth", type=int, default=2, metavar="D",
+        help="branching bits per split: 2^D cubes (default: 2)",
+    )
+    parser.add_argument(
+        "--jobs",
+        action="append",
+        type=int,
+        default=[],
+        help="worker counts to measure (repeatable; default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_cube.json", metavar="FILE",
+        help="where to write the JSON document (default: BENCH_cube.json)",
+    )
+    args = parser.parse_args(argv)
+
+    job_counts = tuple(args.jobs) or DEFAULT_JOB_COUNTS
+    document = run_benchmark(args.split_conflicts, args.split_depth, job_counts)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for run in document["runs"]:
+        print(
+            f"{run['phase']:>10s} jobs={run['jobs']}: {run['elapsed_s']:.2f} s "
+            f"(x{run['slowdown_vs_monolithic']:.2f} vs monolithic), "
+            f"{run['classes_split']} class(es) split into {run['cubes']} cube(s), "
+            f"{run['solver_conflicts']} conflicts"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

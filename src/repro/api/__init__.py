@@ -36,6 +36,7 @@ from repro.api.events import (
     ClassEvent,
     ClassProven,
     ClassSimFalsified,
+    ClassSplit,
     ConeSimplified,
     EventBus,
     PropertyScheduled,
@@ -71,6 +72,7 @@ __all__ = [
     "PropertyScheduled",
     "ConeSimplified",
     "ClassSimFalsified",
+    "ClassSplit",
     "SolverProgress",
     "StructurallyDischarged",
     "ClassProven",

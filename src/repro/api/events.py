@@ -13,6 +13,7 @@ from repro.core.events import (
     ClassEvent,
     ClassProven,
     ClassSimFalsified,
+    ClassSplit,
     ConeSimplified,
     EventBus,
     PropertyScheduled,
@@ -33,6 +34,7 @@ __all__ = [
     "PropertyScheduled",
     "ConeSimplified",
     "ClassSimFalsified",
+    "ClassSplit",
     "SolverProgress",
     "StructurallyDischarged",
     "ClassProven",

@@ -184,6 +184,27 @@ class DetectionConfig:
         A pure execution knob like ``jobs``: excluded from the config
         fingerprint, stripped by report normalization, zero behavior
         change when off.
+    split:
+        When true (default), a combinational check whose first SAT call
+        exceeds ``split_conflicts`` conflicts is aborted and cube-and-
+        conquered: the search space is partitioned into ``2^split_depth``
+        cube tasks over the most influential free input bits
+        (:mod:`repro.sat.cubes`), solved independently (and in parallel
+        under ``jobs > 1``), and reduced — any SAT cube yields the class
+        counterexample, all-UNSAT proves the class.  ``False`` (the CLI's
+        ``--no-split``) always solves monolithically.  Verdicts,
+        counterexamples and normalized reports are identical either way.
+        Semantic for caching purposes: split runs write per-cube cache
+        entries so an interrupted hard proof resumes from settled cubes.
+    split_conflicts:
+        Conflict budget of the monolithic attempt (>= 1; default 20000).
+        Only the *first* raw SAT call of a class is budgeted; cube solves
+        and spurious-counterexample re-checks always run to completion.
+        Ignored when ``split`` is false and by the sequential mode (whose
+        golden-model unrolling has no miter to split).
+    split_depth:
+        Number of branching bits of a split (>= 1, <= 10; default 2),
+        producing ``2^split_depth`` cube tasks per split class.
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -205,6 +226,9 @@ class DetectionConfig:
     inprocess: bool = True
     sim_backend: str = "auto"
     trace: bool = False
+    split: bool = True
+    split_conflicts: int = 20000
+    split_depth: int = 2
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -234,6 +258,14 @@ class DetectionConfig:
             raise ConfigError(f"inprocess must be a bool, got {self.inprocess!r}")
         if not isinstance(self.trace, bool):
             raise ConfigError(f"trace must be a bool, got {self.trace!r}")
+        if not isinstance(self.split, bool):
+            raise ConfigError(f"split must be a bool, got {self.split!r}")
+        _require_int(self.split_conflicts, "split_conflicts", 1)
+        _require_int(self.split_depth, "split_depth", 1)
+        if self.split_depth > 10:
+            raise ConfigError(
+                f"split_depth must be <= 10 (2^depth cube tasks), got {self.split_depth!r}"
+            )
         from repro.aig.simvec import SIM_BACKENDS
 
         if self.sim_backend not in SIM_BACKENDS:
@@ -282,6 +314,9 @@ class DetectionConfig:
             "inprocess": self.inprocess,
             "sim_backend": self.sim_backend,
             "trace": self.trace,
+            "split": self.split,
+            "split_conflicts": self.split_conflicts,
+            "split_depth": self.split_depth,
         }
 
     @classmethod

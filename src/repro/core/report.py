@@ -35,12 +35,14 @@ from repro.rtl.fanout import FanoutAnalysis
 #: (restarts, learned_clauses, deleted_clauses).
 #: v6: added the optional ``profile`` block (per-phase wall-time breakdown
 #: aggregated from spans; null unless the run was traced).
-SCHEMA_VERSION = 6
+#: v7: added the per-outcome cube-and-conquer telemetry ``cubes`` and
+#: ``cubes_cached`` (0 for classes settled monolithically).
+SCHEMA_VERSION = 7
 
 #: Versions ``from_dict`` can still read.  Older versions are accepted
-#: because v2..v6 are purely additive (missing blocks and fields default
+#: because v2..v7 are purely additive (missing blocks and fields default
 #: when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -94,6 +96,11 @@ class PropertyOutcome:
     # which the design diverged from the golden model (None when it held).
     depth_reached: Optional[int] = None
     first_divergence_cycle: Optional[int] = None
+    # Cube-and-conquer bookkeeping (0 for classes settled monolithically):
+    # the number of cube tasks this class was split into, and how many of
+    # those verdicts were replayed from per-cube cache entries.
+    cubes: int = 0
+    cubes_cached: int = 0
 
     @property
     def label(self) -> str:
@@ -396,6 +403,8 @@ def _outcome_to_dict(outcome: PropertyOutcome) -> Dict[str, Any]:
         "nodes_after": result.nodes_after,
         "merged_nodes": result.merged_nodes,
         "sweep_s": result.sweep_seconds,
+        "cubes": outcome.cubes,
+        "cubes_cached": outcome.cubes_cached,
     }
 
 
@@ -429,6 +438,8 @@ def _outcome_from_dict(data: Dict[str, Any]) -> PropertyOutcome:
         resolved_spurious=data.get("resolved_spurious", 0),
         depth_reached=data.get("depth_reached"),
         first_divergence_cycle=data.get("first_divergence_cycle"),
+        cubes=data.get("cubes", 0),
+        cubes_cached=data.get("cubes_cached", 0),
     )
 
 

@@ -44,6 +44,15 @@ class SolverError(ReproError):
     """Raised on internal SAT-solver failures (inconsistent clause database, ...)."""
 
 
+class ConflictLimitExceeded(SolverError):
+    """Raised when a budgeted SAT call exhausts its conflict limit.
+
+    The persistent solver is left backtracked to level 0 and fully reusable;
+    the caller decides how to proceed (typically by splitting the check into
+    cube tasks, see :mod:`repro.sat.cubes`).
+    """
+
+
 class PropertyError(ReproError):
     """Raised when an interval property is malformed (e.g. empty prove part)."""
 

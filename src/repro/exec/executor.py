@@ -31,7 +31,7 @@ import warnings
 from abc import ABC, abstractmethod
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 #: Per-worker bound on live design contexts.  Each context holds a full
 #: IpcEngine (AIG + CNF + solver state), so an unbounded cache would grow
@@ -39,7 +39,12 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 MAX_CONTEXTS_PER_WORKER = 4
 
 from repro.errors import ReproError
-from repro.exec.records import ClassResult, class_result_from_record, class_result_to_record
+from repro.exec.records import (
+    Cube,
+    TaskEntry,
+    task_entry_from_record,
+    task_entry_to_record,
+)
 from repro.exec.worker import DesignWorkContext, WorkUnit
 from repro.ipc.engine import IpcEngine
 from repro.rtl.fanout import FanoutAnalysis
@@ -48,21 +53,56 @@ from repro.rtl.netlist import DependencyGraph
 
 @dataclass(frozen=True)
 class ChunkTask:
-    """One schedulable shard: a run of property classes of one design."""
+    """One schedulable shard: a run of property classes of one design.
+
+    ``allow_split`` lets workers turn a budget-exhausted class into a
+    :class:`~repro.exec.records.SplitResult` (the default); the reducer's
+    canonical re-settle of a cube-SAT class sets it False to force a final
+    verdict.
+    """
 
     task_id: int
     design_key: str
     indices: Tuple[int, ...]
     stop_on_failure: bool
+    allow_split: bool = True
+
+
+@dataclass(frozen=True)
+class CubeTask:
+    """One schedulable cube: an assumption-prefix slice of one hard class.
+
+    Spawned dynamically mid-run when a class's monolithic check exhausts its
+    conflict budget.  The scheduler submits cubes *urgent* so they re-enter
+    the shared work-stealing queue ahead of the remaining shards — their
+    verdicts unblock a class the reducer is already waiting on.
+    """
+
+    task_id: int
+    design_key: str
+    index: int
+    cube: Cube
+
+
+#: Anything the work-stealing queue schedules.  ``ChunkTask`` was the whole
+#: story when "class" and "work unit" were synonyms; cube-and-conquer makes
+#: the unit of work splittable, so the queue now carries both.
+Task = Union[ChunkTask, CubeTask]
 
 
 @dataclass
 class ChunkOutcome:
-    """The settled results of one chunk task plus solver-work accounting."""
+    """The settled results of one task plus solver-work accounting.
+
+    ``results`` entries are :class:`ClassResult`/:class:`SplitResult` for
+    chunk tasks and a single :class:`CubeVerdict` for cube tasks — the tagged
+    record transport (:func:`repro.exec.records.task_entry_to_record`) keeps
+    the three indistinguishable to the queue machinery.
+    """
 
     task_id: int
     design_key: str
-    results: List[ClassResult]
+    results: List[TaskEntry]
     stats: Dict[str, object]
     worker: str
     skipped: bool = False
@@ -136,8 +176,27 @@ class Executor(ABC):
         return self.workers
 
     @abstractmethod
-    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
-        """Execute ``tasks``, yielding one outcome per task in task order."""
+    def submit(self, tasks: Sequence[Task], urgent: bool = False) -> None:
+        """Enqueue tasks; they run when capacity (or a ``wait``) demands it.
+
+        ``urgent`` places them *ahead* of all pending work, preserving their
+        relative order — the scheduler uses it for dynamically spawned cube
+        tasks, whose verdicts gate a class result it is already reducing.
+        """
+
+    @abstractmethod
+    def wait(self, task_id: int) -> ChunkOutcome:
+        """Block until the submitted task ``task_id`` finishes; return its outcome."""
+
+    def run(self, tasks: Sequence[Task]) -> Iterator[ChunkOutcome]:
+        """Execute ``tasks``, yielding one outcome per task in task order.
+
+        Convenience wrapper over :meth:`submit`/:meth:`wait` for callers with
+        a fixed task list and no mid-run spawning.
+        """
+        self.submit(tasks)
+        for task in tasks:
+            yield self.wait(task.task_id)
 
     @abstractmethod
     def cancel_design(self, design_key: str) -> None:
@@ -166,6 +225,8 @@ class SerialExecutor(Executor):
         self._seeds = seeds or {}
         self._contexts = ContextPool(self._build_context)
         self._cancelled: Set[str] = set()
+        self._pending: "deque[Task]" = deque()
+        self._done: Dict[int, ChunkOutcome] = {}
 
     @property
     def workers(self) -> int:
@@ -181,27 +242,50 @@ class SerialExecutor(Executor):
             graph=seed.graph,
         )
 
-    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
-        for task in tasks:
-            if task.design_key in self._cancelled:
-                yield ChunkOutcome(
-                    task_id=task.task_id,
-                    design_key=task.design_key,
-                    results=[],
-                    stats={},
-                    worker="serial-0",
-                    skipped=True,
-                )
-                continue
-            context = self._contexts.get(task.design_key)
-            results, stats = context.run_chunk(task.indices, task.stop_on_failure)
-            yield ChunkOutcome(
+    def submit(self, tasks: Sequence[Task], urgent: bool = False) -> None:
+        if urgent:
+            self._pending.extendleft(reversed(list(tasks)))
+        else:
+            self._pending.extend(tasks)
+
+    def wait(self, task_id: int) -> ChunkOutcome:
+        if task_id in self._done:
+            return self._done.pop(task_id)
+        # Lazy, in submission order: nothing runs until a consumer waits, and
+        # waiting on task N runs at most the tasks queued before it.
+        while self._pending:
+            task = self._pending.popleft()
+            outcome = self._execute(task)
+            if task.task_id == task_id:
+                return outcome
+            self._done[task.task_id] = outcome
+        raise ReproError(f"unknown task id {task_id}")
+
+    def _execute(self, task: Task) -> ChunkOutcome:
+        if task.design_key in self._cancelled:
+            return ChunkOutcome(
                 task_id=task.task_id,
                 design_key=task.design_key,
-                results=results,
-                stats=stats,
+                results=[],
+                stats={},
                 worker="serial-0",
+                skipped=True,
             )
+        context = self._contexts.get(task.design_key)
+        if isinstance(task, CubeTask):
+            verdict, stats = context.run_cube(task.index, task.cube)
+            results: List[TaskEntry] = [verdict]
+        else:
+            results, stats = context.run_chunk(
+                task.indices, task.stop_on_failure, allow_split=task.allow_split
+            )
+        return ChunkOutcome(
+            task_id=task.task_id,
+            design_key=task.design_key,
+            results=results,
+            stats=stats,
+            worker="serial-0",
+        )
 
     def cancel_design(self, design_key: str) -> None:
         self._cancelled.add(design_key)
@@ -239,8 +323,14 @@ def _pool_worker_main(worker_name, units, task_queue, result_queue) -> None:
             break
         try:
             context = contexts.get(task.design_key)
-            results, stats = context.run_chunk(task.indices, task.stop_on_failure)
-            records = [class_result_to_record(result) for result in results]
+            if isinstance(task, CubeTask):
+                verdict, stats = context.run_cube(task.index, task.cube)
+                entries: List[TaskEntry] = [verdict]
+            else:
+                entries, stats = context.run_chunk(
+                    task.indices, task.stop_on_failure, allow_split=task.allow_split
+                )
+            records = [task_entry_to_record(entry) for entry in entries]
             result_queue.put((task.task_id, task.design_key, records, stats, worker_name, None))
         except Exception:  # noqa: BLE001 - crossing a process boundary
             result_queue.put(
@@ -269,6 +359,9 @@ class ProcessPoolExecutor(Executor):
         self._result_queue = None
         self._cancelled: Set[str] = set()
         self._closed = False
+        self._pending: "deque[Task]" = deque()
+        self._completed: Dict[int, ChunkOutcome] = {}
+        self._outstanding = 0
 
     @property
     def workers(self) -> int:
@@ -279,10 +372,19 @@ class ProcessPoolExecutor(Executor):
             return 1  # nothing to fork for (e.g. a fully cache-warm run)
         return min(self._jobs, task_count)
 
-    def _start(self, worker_count: int) -> None:
-        self._task_queue = self._mp.Queue()
-        self._result_queue = self._mp.Queue()
-        for worker_index in range(worker_count):
+    def _ensure_workers(self, demand: int) -> None:
+        """Fork workers lazily, growing the pool up to ``jobs`` as demand does.
+
+        The first submit sizes the pool to its task count (a pool never
+        forks more processes than there is work); later submits — e.g. a
+        burst of cube tasks from a split — may grow it toward ``jobs``.
+        """
+        if self._task_queue is None:
+            self._task_queue = self._mp.Queue()
+            self._result_queue = self._mp.Queue()
+        target = min(self._jobs, max(demand, 1))
+        while len(self._processes) < target:
+            worker_index = len(self._processes)
             process = self._mp.Process(
                 target=_pool_worker_main,
                 args=(
@@ -296,76 +398,91 @@ class ProcessPoolExecutor(Executor):
             process.start()
             self._processes.append(process)
 
-    def run(self, tasks: Sequence[ChunkTask]) -> Iterator[ChunkOutcome]:
+    def submit(self, tasks: Sequence[Task], urgent: bool = False) -> None:
+        if self._closed:
+            raise ReproError("executor is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return
+        if urgent:
+            self._pending.extendleft(reversed(tasks))
+        else:
+            self._pending.extend(tasks)
+        self._ensure_workers(len(self._pending) + self._outstanding)
+        self._feed()
+
+    def _feed(self) -> None:
+        """Keep at most ``2 × workers`` tasks in flight.
+
+        The bound keeps queue memory flat and gives ``cancel_design`` (and
+        urgent cube submissions) a window to act on still-pending shards.
+        """
+        max_outstanding = 2 * max(1, len(self._processes))
+        while self._pending and self._outstanding < max_outstanding:
+            task = self._pending.popleft()
+            if task.design_key in self._cancelled:
+                self._completed[task.task_id] = ChunkOutcome(
+                    task_id=task.task_id,
+                    design_key=task.design_key,
+                    results=[],
+                    stats={},
+                    worker="cancelled",
+                    skipped=True,
+                )
+                continue
+            self._task_queue.put(task)
+            self._outstanding += 1
+
+    def wait(self, task_id: int) -> ChunkOutcome:
+        if self._closed and task_id not in self._completed:
+            raise ReproError("executor is closed")
+        while task_id not in self._completed:
+            self._feed()
+            if not self._outstanding and not self._pending:
+                raise ReproError(f"unknown task id {task_id}")
+            try:
+                message = self._result_queue.get(timeout=5.0)
+            except _queue.Empty:
+                # Workers only exit after the close() sentinel, so a dead
+                # process mid-run means a hard crash (OOM kill, native
+                # segfault).  Its task would never complete — fail loudly
+                # instead of waiting forever, even while other workers are
+                # still alive.
+                dead = [p for p in self._processes if not p.is_alive()]
+                if self._outstanding and dead:
+                    names = ", ".join(p.name or "?" for p in dead)
+                    raise ReproError(
+                        f"parallel worker process(es) died without reporting "
+                        f"a result ({names}); rerun with --jobs 1 to "
+                        f"reproduce the failure inline"
+                    ) from None
+                continue
+            done_id, design_key, records, stats, worker, error = message
+            self._outstanding -= 1
+            if error is not None:
+                raise ReproError(
+                    f"parallel worker {worker} failed while settling "
+                    f"{design_key!r}:\n{error}"
+                )
+            name = self._units[design_key].name
+            self._completed[done_id] = ChunkOutcome(
+                task_id=done_id,
+                design_key=design_key,
+                results=[task_entry_from_record(name, record) for record in records],
+                stats=stats,
+                worker=worker,
+            )
+        return self._completed.pop(task_id)
+
+    def run(self, tasks: Sequence[Task]) -> Iterator[ChunkOutcome]:
         if self._closed:
             raise ReproError("executor is closed")
         if not tasks:
             return
-        worker_count = min(self._jobs, len(tasks))
-        if not self._processes:
-            self._start(worker_count)
-        pending = deque(tasks)
-        completed: Dict[int, ChunkOutcome] = {}
-        outstanding = 0
-        max_outstanding = 2 * len(self._processes)
-
-        def feed() -> None:
-            nonlocal outstanding
-            while pending and outstanding < max_outstanding:
-                task = pending.popleft()
-                if task.design_key in self._cancelled:
-                    completed[task.task_id] = ChunkOutcome(
-                        task_id=task.task_id,
-                        design_key=task.design_key,
-                        results=[],
-                        stats={},
-                        worker="cancelled",
-                        skipped=True,
-                    )
-                    continue
-                self._task_queue.put(task)
-                outstanding += 1
-
         try:
-            feed()
+            self.submit(tasks)
             for task in tasks:
-                while task.task_id not in completed:
-                    feed()
-                    try:
-                        message = self._result_queue.get(timeout=5.0)
-                    except _queue.Empty:
-                        # Workers only exit after the close() sentinel, so a
-                        # dead process mid-run means a hard crash (OOM kill,
-                        # native segfault).  Its task would never complete —
-                        # fail loudly instead of waiting forever, even while
-                        # other workers are still alive.
-                        dead = [p for p in self._processes if not p.is_alive()]
-                        if outstanding and dead:
-                            names = ", ".join(p.name or "?" for p in dead)
-                            raise ReproError(
-                                f"parallel worker process(es) died without reporting "
-                                f"a result ({names}); rerun with --jobs 1 to "
-                                f"reproduce the failure inline"
-                            ) from None
-                        continue
-                    task_id, design_key, records, stats, worker, error = message
-                    outstanding -= 1
-                    if error is not None:
-                        raise ReproError(
-                            f"parallel worker {worker} failed while settling "
-                            f"{design_key!r}:\n{error}"
-                        )
-                    name = self._units[design_key].name
-                    completed[task_id] = ChunkOutcome(
-                        task_id=task_id,
-                        design_key=design_key,
-                        results=[
-                            class_result_from_record(name, record) for record in records
-                        ],
-                        stats=stats,
-                        worker=worker,
-                    )
-                yield completed.pop(task.task_id)
+                yield self.wait(task.task_id)
         finally:
             self.close()
 

@@ -25,7 +25,7 @@ import importlib.util
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import SolverError
+from repro.errors import ConflictLimitExceeded, SolverError
 from repro.sat.solver import SatResult, SatSolver
 
 
@@ -256,7 +256,7 @@ class PySatBackend(SatBackend):
             if satisfiable is None:
                 stats = self._solver.accum_stats() or {}
                 self._stats_base = {key: int(stats.get(key, 0)) for key in base}
-                raise SolverError("conflict limit exceeded")
+                raise ConflictLimitExceeded("conflict limit exceeded")
         else:
             satisfiable = self._solver.solve(assumptions=assumptions)
         stats = self._solver.accum_stats() or {}

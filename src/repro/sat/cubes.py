@@ -1,0 +1,135 @@
+"""Lookahead cube splitting for hard property checks (cube-and-conquer).
+
+When a check's first SAT call blows its conflict budget, the monolithic
+search space is partitioned into ``2^d`` *cubes*: assumption prefixes over
+the ``d`` most influential free input bits of the miter cone.  Each cube is
+checked independently through the existing assumption-based protocol on a
+persistent solver context — any satisfiable cube witnesses the original
+miter, and all-UNSAT covers the full assignment space of the chosen bits,
+proving the original check.
+
+Branching-bit selection is a two-stage lookahead:
+
+1. *Structural pre-scoring* — candidates are ranked by how many AND nodes of
+   the cone reference them directly, and the top ``LOOKAHEAD_POOL_FACTOR * d``
+   survive to the refinement stage.
+2. *Simulation influence* — each surviving candidate's word is complemented
+   under a deterministic pseudo-random pattern batch; the number of
+   (pattern, root) toggles it causes is its influence score.
+
+Everything here is deliberately *position*-seeded and id-free: scores and
+tie-breaks depend only on the cone's structure and on the caller-supplied
+order keys (portable leaf names), never on absolute AIG node ids.  Running
+the selection on a freshly built canonical context therefore yields the same
+cubes in every run, at any job count — which is what makes per-cube cache
+entries resumable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.aig.aig import AIG
+
+#: Structural pre-scoring keeps this many candidates per requested split bit
+#: for the (more expensive) simulation-influence refinement stage.
+LOOKAHEAD_POOL_FACTOR = 4
+
+#: Patterns of the influence simulation (one machine word's worth).
+LOOKAHEAD_PATTERNS = 64
+
+
+def _splitmix64(value: int) -> int:
+    """One splitmix64 step: cheap, stateless, high-quality 64-bit mixing."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = value
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+def _position_word(position: int, num_patterns: int) -> int:
+    """A deterministic pattern word for the input at cone ``position``.
+
+    Seeded by the input's *position* in the cone's topological order — an
+    isomorphism invariant — so two structurally identical cones get identical
+    stimulus regardless of their absolute node numbering.
+    """
+    chunks = (num_patterns + 63) // 64
+    word = 0
+    for chunk in range(chunks):
+        word |= _splitmix64(position * chunks + chunk + 1) << (64 * chunk)
+    return word & ((1 << num_patterns) - 1)
+
+
+def select_split_bits(
+    aig: AIG,
+    roots: Sequence[int],
+    candidates: Sequence[Tuple[int, Any]],
+    depth: int,
+    num_patterns: int = LOOKAHEAD_PATTERNS,
+) -> List[int]:
+    """Pick up to ``depth`` branching input nodes for the cone of ``roots``.
+
+    ``candidates`` pairs each eligible input node with an opaque, totally
+    ordered key (the portable leaf name) used for deterministic tie-breaking;
+    candidates outside the roots' cone are ignored.  Returns the chosen nodes,
+    most influential first — fewer than ``depth`` when the cone does not
+    contain enough distinct candidates.
+    """
+    if depth <= 0:
+        return []
+    cone = aig.cone_nodes(roots)
+    cone_set = set(cone)
+    keys = {node: key for node, key in candidates if node in cone_set}
+    if not keys:
+        return []
+
+    # Stage 1: structural pre-scoring by direct references inside the cone.
+    references = {node: 0 for node in keys}
+    for node in cone:
+        if not aig.is_and(node):
+            continue
+        left, right = aig.fanins(node)
+        for fanin in (left, right):
+            leaf = fanin >> 1
+            if leaf in references:
+                references[leaf] += 1
+    ranked = sorted(keys, key=lambda node: (-references[node], keys[node]))
+    pool = ranked[: max(depth * LOOKAHEAD_POOL_FACTOR, depth)]
+
+    # Stage 2: simulation influence — toggles caused by complementing each
+    # pool candidate's word under a shared deterministic pattern batch.
+    mask = (1 << num_patterns) - 1
+    base_words: Dict[int, int] = {}
+    for position, node in enumerate(node for node in cone if aig.is_input(node)):
+        base_words[node] = _position_word(position, num_patterns)
+    base = aig.evaluate_words(roots, base_words, mask, cone=cone)
+    influence: Dict[int, int] = {}
+    for node in pool:
+        flipped = dict(base_words)
+        flipped[node] = flipped.get(node, 0) ^ mask
+        words = aig.evaluate_words(roots, flipped, mask, cone=cone)
+        influence[node] = sum(
+            bin((word ^ reference) & mask).count("1")
+            for word, reference in zip(words, base)
+        )
+    chosen = sorted(
+        pool, key=lambda node: (-influence[node], -references[node], keys[node])
+    )
+    return chosen[:depth]
+
+
+def enumerate_cubes(bits: Sequence[Any]) -> List[Tuple[Tuple[Any, int], ...]]:
+    """All ``2^len(bits)`` assumption cubes over ``bits``, in a fixed order.
+
+    Each cube is a tuple of ``(bit, value)`` pairs; cube ``i`` assigns bit
+    ``j`` the value ``(i >> (len - 1 - j)) & 1`` (most significant bit
+    first), so together the cubes exactly cover the assignment space — the
+    covering property that makes an all-UNSAT reduction a proof.
+    """
+    count = len(bits)
+    return [
+        tuple((bit, (index >> (count - 1 - j)) & 1) for j, bit in enumerate(bits))
+        for index in range(1 << count)
+    ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import SolverError
+from repro.errors import ConflictLimitExceeded, SolverError
 from repro.obs.progress import active_heartbeat
 
 
@@ -695,7 +695,7 @@ class SatSolver:
                 if conflict_limit is not None and self._conflicts - self._call_base[0] >= conflict_limit:
                     # Leave the persistent solver in a reusable state.
                     self._backtrack(0)
-                    raise SolverError("conflict limit exceeded")
+                    raise ConflictLimitExceeded("conflict limit exceeded")
                 if self._decision_level() <= len(assumptions):
                     # Conflict under assumptions only: UNSAT under assumptions.
                     self._backtrack(0)

@@ -1,0 +1,326 @@
+"""Tests for cube-and-conquer: splitting hard checks into cube tasks.
+
+The contract under test: when a class's first SAT call blows its conflict
+budget, the check is partitioned into ``2^split_depth`` covering cubes that
+are settled as independent tasks and reduced back into one class result —
+and nothing about the *semantic* report (verdict, outcomes, witnesses,
+assumption counts) may depend on whether, or over how many workers, the
+split happened.  Cube planning is deterministic and position-seeded, so
+per-cube verdicts are cacheable and an interrupted hard proof resumes from
+its settled cubes with zero repeated solver work.
+
+The end-to-end sections drive ``benchmarks/cube_widget.v``: a 5-stage
+register pipeline feeding a multiplier-commutativity identity whose class-1
+obligation needs ~2000 conflicts monolithically — the one committed design
+known to actually split (bundled Trust-Hub benchmarks all settle their
+classes structurally or within a handful of conflicts).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.api import Design, DetectionConfig, DetectionSession
+from repro.core.events import ClassSplit
+from repro.errors import ConflictLimitExceeded, ReproError, SolverError
+from repro.exec import (
+    CubeVerdict,
+    SplitResult,
+    cube_cache_key,
+    cube_verdict_from_record,
+    cube_verdict_to_record,
+    normalized_report_dict,
+    split_cache_key,
+    split_result_from_record,
+    split_result_to_record,
+    task_entry_from_record,
+    task_entry_to_record,
+)
+from repro.sat.cubes import enumerate_cubes, select_split_bits
+from repro.sat.solver import SatSolver
+
+WIDGET_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "cube_widget.v",
+)
+
+#: Below the widget's ~2000-conflict class-1 obligation, far above every
+#: other class (which settle structurally or with zero conflicts).
+SPLIT_BUDGET = dict(split=True, split_conflicts=200, split_depth=2)
+
+
+# ---------------------------------------------------------------------- #
+# Cube enumeration / selection units
+# ---------------------------------------------------------------------- #
+
+
+class TestEnumerateCubes:
+    def test_cubes_cover_the_assignment_space_exactly(self):
+        bits = ["x", "y", "z"]
+        cubes = enumerate_cubes(bits)
+        assert len(cubes) == 8
+        assignments = {tuple(value for _bit, value in cube) for cube in cubes}
+        assert assignments == {
+            (a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        }
+
+    def test_enumeration_order_is_msb_first(self):
+        assert enumerate_cubes(["a", "b"]) == [
+            (("a", 0), ("b", 0)),
+            (("a", 0), ("b", 1)),
+            (("a", 1), ("b", 0)),
+            (("a", 1), ("b", 1)),
+        ]
+
+    def test_empty_bit_list_is_the_trivial_cover(self):
+        # One empty cube: the degenerate split that covers everything.
+        assert enumerate_cubes([]) == [()]
+
+
+class TestSelectSplitBits:
+    def _cone(self):
+        # A small AIG whose root cone references inputs a and b, with
+        # input c outside the cone entirely.  add_input/and_ return
+        # literals; select_split_bits candidates are *nodes*.
+        from repro.aig.aig import AIG
+
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        c = aig.add_input("c")
+        left = aig.and_(a, b)
+        root = aig.and_(left, aig.not_(a))
+        nodes = tuple(literal >> 1 for literal in (a, b, c))
+        return aig, root, nodes
+
+    def test_selection_is_deterministic_and_cone_restricted(self):
+        aig, root, (a, b, c) = self._cone()
+        candidates = [(a, "k/a"), (b, "k/b"), (c, "k/c")]
+        first = select_split_bits(aig, [root], candidates, depth=2)
+        second = select_split_bits(aig, [root], candidates, depth=2)
+        assert first == second
+        assert c not in first  # outside the cone
+        assert set(first) <= {a, b}
+
+    def test_depth_zero_and_no_candidates(self):
+        aig, root, (a, _b, _c) = self._cone()
+        assert select_split_bits(aig, [root], [(a, "k")], depth=0) == []
+        assert select_split_bits(aig, [root], [], depth=2) == []
+
+    def test_returns_fewer_bits_than_depth_when_cone_is_small(self):
+        aig, root, (a, b, _c) = self._cone()
+        candidates = [(a, "k/a"), (b, "k/b")]
+        chosen = select_split_bits(aig, [root], candidates, depth=5)
+        assert sorted(chosen) == sorted([a, b])
+
+
+# ---------------------------------------------------------------------- #
+# Conflict-budgeted solving
+# ---------------------------------------------------------------------- #
+
+
+def _pigeonhole_clauses(holes):
+    """PHP(holes+1, holes): UNSAT and expensive for resolution."""
+    pigeons = holes + 1
+
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    clauses = [
+        [var(pigeon, hole) for hole in range(holes)] for pigeon in range(pigeons)
+    ]
+    for hole in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append([-var(p1, hole), -var(p2, hole)])
+    return clauses
+
+
+class TestConflictLimit:
+    def test_limit_raises_and_is_a_solver_error(self):
+        solver = SatSolver()
+        for clause in _pigeonhole_clauses(5):
+            solver.add_clause(clause)
+        with pytest.raises(ConflictLimitExceeded):
+            solver.solve(conflict_limit=3)
+        assert issubclass(ConflictLimitExceeded, SolverError)
+
+    def test_solver_stays_usable_after_an_aborted_call(self):
+        solver = SatSolver()
+        for clause in _pigeonhole_clauses(4):
+            solver.add_clause(clause)
+        with pytest.raises(ConflictLimitExceeded):
+            solver.solve(conflict_limit=2)
+        # The aborted call backtracked to level 0: the same persistent
+        # context finishes the proof (keeping its learned clauses).
+        assert not solver.solve().satisfiable
+
+    def test_unlimited_call_never_raises(self):
+        solver = SatSolver()
+        for clause in _pigeonhole_clauses(3):
+            solver.add_clause(clause)
+        assert not solver.solve().satisfiable
+
+
+# ---------------------------------------------------------------------- #
+# Record round-trips (queue transport and cache persistence)
+# ---------------------------------------------------------------------- #
+
+_CUBE = (
+    (0, 0, "r5", 3, 1),
+    (1, 0, "r5", 0, 0),
+)
+
+
+class TestSplitRecords:
+    def _split(self):
+        return SplitResult(
+            design="widget",
+            index=1,
+            kind="fanout",
+            property_name="CC1 fanout",
+            commitments=12,
+            cubes=[_CUBE, ((0, 0, "r5", 1, 0),)],
+            outcome_template={"index": 1, "kind": "fanout", "holds": True},
+        )
+
+    def test_split_result_round_trips_through_json(self):
+        split = self._split()
+        record = json.loads(json.dumps(split_result_to_record(split)))
+        restored = split_result_from_record("widget", record)
+        assert restored == split
+
+    def test_cube_verdict_round_trips_through_json(self):
+        verdict = CubeVerdict(design="widget", index=1, cube=_CUBE, sat=False)
+        record = json.loads(json.dumps(cube_verdict_to_record(verdict)))
+        restored = cube_verdict_from_record("widget", record)
+        assert restored == verdict
+        cached = cube_verdict_from_record("widget", record, from_cache=True)
+        assert cached.from_cache and cached.cube == verdict.cube
+
+    def test_task_entry_transport_tags_each_union_member(self):
+        split = self._split()
+        verdict = CubeVerdict(design="widget", index=1, cube=_CUBE, sat=True)
+        assert task_entry_to_record(split)["entry"] == "split"
+        assert task_entry_to_record(verdict)["entry"] == "cube"
+        for entry in (split, verdict):
+            wire = json.loads(json.dumps(task_entry_to_record(entry)))
+            assert task_entry_from_record("widget", wire) == entry
+
+    def test_unknown_entry_tag_is_rejected(self):
+        with pytest.raises(ReproError, match="unknown task entry tag"):
+            task_entry_from_record("widget", {"entry": "shard"})
+
+    def test_malformed_records_raise_repro_error(self):
+        with pytest.raises(ReproError):
+            split_result_from_record("widget", {"index": 1})
+        with pytest.raises(ReproError):
+            split_result_from_record(
+                "widget",
+                {**split_result_to_record(self._split()), "cubes": []},
+            )
+        with pytest.raises(ReproError, match="must be a bool"):
+            cube_verdict_from_record(
+                "widget", {"index": 1, "cube": [], "sat": "yes"}
+            )
+
+    def test_cache_keys_separate_splits_cubes_and_classes(self):
+        split_key = split_cache_key("m", "c", 1)
+        cube_keys = {
+            cube_cache_key(
+                "m", "c", 1, tuple((*bit, value) for bit, value in cube)
+            )
+            for cube in enumerate_cubes([(0, 0, "r5", 3)])
+        }
+        assert len(cube_keys) == 2
+        assert split_key not in cube_keys
+        assert split_cache_key("m", "c", 2) != split_key
+
+
+# ---------------------------------------------------------------------- #
+# End to end on the committed widget (the design that actually splits)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def widget_module():
+    return Design.from_file(WIDGET_PATH, top="cube_widget").module
+
+
+@pytest.fixture(scope="module")
+def monolithic_report(widget_module):
+    return DetectionSession(
+        widget_module, config=DetectionConfig(split=False)
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def split_run(widget_module, tmp_path_factory):
+    """One split run with a cache directory, plus its captured events."""
+    cache_dir = tmp_path_factory.mktemp("cube-cache")
+    session = DetectionSession(
+        widget_module,
+        config=DetectionConfig(cache_dir=str(cache_dir), **SPLIT_BUDGET),
+    )
+    events = []
+    session.subscribe(events.append, ClassSplit)
+    report = session.run()
+    return report, events, cache_dir
+
+
+class TestSplitEndToEnd:
+    def test_the_widget_actually_splits(self, split_run):
+        report, events, _cache_dir = split_run
+        split_outcomes = [o for o in report.outcomes if o.cubes > 1]
+        assert split_outcomes, "cube_widget.v no longer trips the budget"
+        assert split_outcomes[0].cubes == 4  # 2^split_depth
+        assert split_outcomes[0].cubes_cached == 0  # cold run
+
+    def test_split_emits_a_class_split_event(self, split_run):
+        _report, events, _cache_dir = split_run
+        assert len(events) == 1
+        assert events[0].cubes == 4 and events[0].cubes_cached == 0
+
+    def test_split_and_monolithic_reports_are_byte_identical(
+        self, monolithic_report, split_run
+    ):
+        report, _events, _cache_dir = split_run
+        assert report.is_secure and monolithic_report.is_secure
+        assert json.dumps(
+            normalized_report_dict(report.to_dict()), sort_keys=True
+        ) == json.dumps(
+            normalized_report_dict(monolithic_report.to_dict()), sort_keys=True
+        )
+
+    def test_interrupted_run_resumes_from_cube_verdicts(
+        self, widget_module, split_run
+    ):
+        report, _events, cache_dir = split_run
+        split_index = next(o.index for o in report.outcomes if o.cubes > 1)
+        # Simulate dying after the cubes settled but before the reduced
+        # class record landed: drop exactly the settled record of the
+        # split class, keep the split plan and the per-cube verdicts.
+        deleted = 0
+        for path in cache_dir.rglob("*.json"):
+            record = json.loads(path.read_text())["record"]
+            if (
+                record.get("entry", "class") == "class"
+                and record.get("index") == split_index
+                and "terminal" in record
+            ):
+                path.unlink()
+                deleted += 1
+        assert deleted == 1
+        resumed = DetectionSession(
+            widget_module,
+            config=DetectionConfig(cache_dir=str(cache_dir), **SPLIT_BUDGET),
+        ).run()
+        outcome = next(o for o in resumed.outcomes if o.index == split_index)
+        # Every cube replayed from cache: no repeated solver work at all.
+        assert outcome.cubes == 4 and outcome.cubes_cached == 4
+        assert resumed.solver_calls == 0
+        assert normalized_report_dict(resumed.to_dict()) == normalized_report_dict(
+            report.to_dict()
+        )

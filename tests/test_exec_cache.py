@@ -124,6 +124,13 @@ class TestFingerprints:
         (dict(), dict(sim_patterns=128)),
         (dict(), dict(fraig_rounds=2)),
         (dict(), dict(inprocess=False)),
+        # Cube splitting: the budget decides whether a class settles as one
+        # record or as a split + cube-verdict family, and the depth decides
+        # the cube set itself — entries from different splitting regimes
+        # must never alias.
+        (dict(), dict(split=False)),
+        (dict(), dict(split_conflicts=50000)),
+        (dict(), dict(split_depth=3)),
     ]
     # ``sim_backend`` is execution-only by a stronger argument than the
     # scheduling knobs: the numpy and Python kernels are bit-identical, so

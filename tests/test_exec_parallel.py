@@ -9,6 +9,7 @@ sharded over solver contexts) may differ, and those are exactly the fields
 """
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.api import (
     BatchReport,
@@ -80,6 +81,58 @@ class TestSharding:
 
     def test_empty(self):
         assert shard_indices([], jobs=4) == []
+
+
+class TestShardingProperties:
+    """Hypothesis-driven invariants of shard_indices over arbitrary index
+    sets (the survivors of a cache lookup — any subset of 0..n with gaps
+    wherever a class was already settled) and worker counts."""
+
+    indices = st.lists(
+        st.integers(min_value=0, max_value=200), max_size=60, unique=True
+    )
+    jobs = st.integers(min_value=1, max_value=9)
+
+    @given(indices=indices, jobs=jobs)
+    def test_shards_partition_the_uncached_indices_exactly(self, indices, jobs):
+        shards = shard_indices(indices, jobs)
+        flattened = [index for shard in shards for index in shard]
+        # Exact partition: every miss appears exactly once, in class order,
+        # so the merge loop can wait on shards in submission order.
+        assert flattened == sorted(indices)
+
+    @given(indices=indices, jobs=jobs)
+    def test_shards_are_contiguous_runs_of_misses(self, indices, jobs):
+        # A shard never spans a cached gap: each one is a contiguous index
+        # run, so a worker's incremental solver context only ever extends
+        # the same assumption prefix.
+        present = set(indices)
+        for shard in shard_indices(indices, jobs):
+            assert list(shard) == list(range(shard[0], shard[-1] + 1))
+            assert present.issuperset(shard)
+
+    @given(indices=indices, jobs=jobs)
+    def test_shard_sizes_respect_the_jobs_derived_bound(self, indices, jobs):
+        shards = shard_indices(indices, jobs)
+        if jobs <= 1:
+            # Serial execution maximizes streaming laziness: one class per
+            # shard, no look-ahead solving before the consumer asks.
+            assert all(len(shard) == 1 for shard in shards)
+        elif shards:
+            # Parallel shards aim for ~4 shards per worker; the ceil-divided
+            # chunk size bounds every shard, keeping steal granularity fine
+            # enough that no worker hoards a quarter of the run.
+            bound = -(-len(indices) // max(1, jobs * 4))
+            assert max(len(shard) for shard in shards) <= bound
+
+    @given(indices=indices, jobs=jobs, max_shards=st.integers(1, 12))
+    def test_explicit_max_shards_budget_is_honoured(self, indices, jobs, max_shards):
+        if jobs <= 1:
+            return  # the serial path ignores the budget (one class each)
+        shards = shard_indices(indices, jobs, max_shards=max_shards)
+        if shards:
+            bound = -(-len(indices) // max_shards)
+            assert max(len(shard) for shard in shards) <= bound
 
 
 def _unit(source=CLEAN_SOURCE, **config_overrides):

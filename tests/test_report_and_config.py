@@ -123,6 +123,29 @@ class TestConfigValidation:
             DetectionConfig(depth=-3)
         assert DetectionConfig(depth=25).depth == 25
 
+    @pytest.mark.parametrize("field", ["split_conflicts", "split_depth"])
+    def test_split_knobs_must_be_positive_integers(self, field):
+        with pytest.raises(ConfigError, match=field):
+            DetectionConfig(**{field: 0})
+        with pytest.raises(ConfigError, match=field):
+            DetectionConfig(**{field: -5})
+        with pytest.raises(ConfigError, match=field):
+            DetectionConfig(**{field: True})
+        with pytest.raises(ConfigError, match=field):
+            DetectionConfig(**{field: "2"})
+
+    def test_split_must_be_bool(self):
+        with pytest.raises(ConfigError, match="split"):
+            DetectionConfig(split=1)
+        assert DetectionConfig(split=False).split is False
+
+    def test_split_depth_capped(self):
+        # 2^depth cube tasks per split class: an accidental depth=30 would
+        # fan a single class out into a billion solver calls.
+        with pytest.raises(ConfigError, match="split_depth"):
+            DetectionConfig(split_depth=11)
+        assert DetectionConfig(split_depth=10).split_depth == 10
+
     def test_reset_values_validated(self):
         with pytest.raises(ConfigError, match="reset_values"):
             DetectionConfig(reset_values=[("count", 1)])
