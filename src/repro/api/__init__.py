@@ -45,6 +45,7 @@ from repro.api.events import (
     RunStarted,
     SolverProgress,
     StructurallyDischarged,
+    WorkerLost,
     class_label,
     event_from_dict,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "ClassProven",
     "CexFound",
     "CexWaived",
+    "WorkerLost",
     "RunFinished",
     "EventBus",
     "class_label",

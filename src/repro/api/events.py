@@ -23,6 +23,7 @@ from repro.core.events import (
     SolverProgress,
     StructurallyDischarged,
     WIRE_EVENT_TYPES,
+    WorkerLost,
     class_label,
     event_from_dict,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "ClassProven",
     "CexFound",
     "CexWaived",
+    "WorkerLost",
     "RunFinished",
     "EventBus",
     "WIRE_EVENT_TYPES",

@@ -433,7 +433,11 @@ class BatchSession:
                     golden=_golden_for(design, config),
                 )
             )
-        executor = create_executor(jobs, {plan.key: plan.work_unit for plan in plans})
+        executor = create_executor(
+            jobs,
+            {plan.key: plan.work_unit for plan in plans},
+            task_retries=plans[0].config.task_retries if plans else 2,
+        )
         reports: List[DetectionReport] = []
         try:
             with progress_sink(self._bus.emit):

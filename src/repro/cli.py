@@ -136,6 +136,25 @@ def _add_config_options(parser: argparse.ArgumentParser) -> None:
         help="settle property classes on N worker processes (default: 1, serial)",
     )
     parser.add_argument(
+        "--task-retries",
+        type=int,
+        default=_CONFIG_DEFAULTS.task_retries,
+        metavar="N",
+        help=f"with --jobs > 1: re-queue a task up to N times when the "
+             f"worker process holding it dies; a task that exhausts the "
+             f"budget is quarantined as an inconclusive outcome instead of "
+             f"aborting the run (default: {_CONFIG_DEFAULTS.task_retries})",
+    )
+    parser.add_argument(
+        "--check-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per property-class check; a check that "
+             "exceeds it degrades to an inconclusive timeout outcome "
+             "(default: none — checks run to completion)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         help="persistent result cache: replay already-proven classes from DIR "
@@ -384,6 +403,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--token-quota", action="append", default=[], metavar="TOKEN=N",
         help="override the quota for one client token (repeatable)",
     )
+    serve_parser.add_argument(
+        "--lease", type=float, default=None, metavar="SECONDS",
+        help="job lease duration when several daemons share one --queue-dir; "
+             "a running job whose lease expires is re-queued by a surviving "
+             "daemon (default: 30)",
+    )
+    serve_parser.add_argument(
+        "--owner", default=None, metavar="ID",
+        help="stable daemon identity stamped on leases and journals "
+             "(default: a per-process random id)",
+    )
 
     submit_parser = subparsers.add_parser(
         "submit", help="submit one audit to a running daemon and stream it"
@@ -491,6 +521,8 @@ def _shared_config_kwargs(args: argparse.Namespace) -> dict:
         split=not args.no_split,
         split_conflicts=args.split_conflicts,
         split_depth=args.split_depth,
+        task_retries=args.task_retries,
+        check_timeout_s=args.check_timeout,
     )
 
 
@@ -810,6 +842,7 @@ def _parse_token_quotas(items: List[str]) -> dict:
 
 def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     from repro.serve import AuditServer
+    from repro.serve.queue import DEFAULT_LEASE_S
 
     server = AuditServer(
         host=args.host,
@@ -820,6 +853,8 @@ def _cmd_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         use_cache=not args.no_cache,
         default_quota=args.quota,
         quotas=_parse_token_quotas(args.token_quota),
+        owner=args.owner,
+        lease_s=args.lease if args.lease is not None else DEFAULT_LEASE_S,
     )
     server.start()
     recovered = server.queue.recovered_jobs
@@ -855,7 +890,7 @@ def _submission_config_dict(args: argparse.Namespace) -> dict:
         **_shared_config_kwargs(args),
     )
     data = config.to_dict()
-    for knob in ("jobs", "cache_dir", "use_cache", "trace"):
+    for knob in ("jobs", "cache_dir", "use_cache", "trace", "task_retries"):
         data.pop(knob, None)
     return data
 

@@ -205,6 +205,21 @@ class DetectionConfig:
     split_depth:
         Number of branching bits of a split (>= 1, <= 10; default 2),
         producing ``2^split_depth`` cube tasks per split class.
+    task_retries:
+        How many times a parallel task whose worker process *died* (crash,
+        OOM kill, SIGKILL) is requeued onto a respawned worker before its
+        classes are quarantined as ``error`` outcomes (>= 0; default 2).
+        A pure execution knob like ``jobs``: retry histories never change
+        verdicts or normalized reports.  Ignored when ``jobs`` is 1.
+    check_timeout_s:
+        Optional per-class wall-clock deadline in seconds (> 0, or None to
+        disable).  A SAT check that exceeds the deadline is aborted at the
+        solver's conflict-poll seam and the class settles as an inconclusive
+        ``timeout`` outcome carrying partial telemetry instead of hanging
+        the run.  Semantic for caching purposes: a timeout bound changes
+        which classes settle, so it participates in the config fingerprint.
+        Best-effort on the pysat backend (which cannot be interrupted on a
+        wall-clock boundary).
     """
 
     inputs: Optional[Sequence[str]] = None
@@ -229,6 +244,8 @@ class DetectionConfig:
     split: bool = True
     split_conflicts: int = 20000
     split_depth: int = 2
+    task_retries: int = 2
+    check_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         """Fail at construction, not mid-run (see :class:`repro.errors.ConfigError`)."""
@@ -266,6 +283,19 @@ class DetectionConfig:
             raise ConfigError(
                 f"split_depth must be <= 10 (2^depth cube tasks), got {self.split_depth!r}"
             )
+        _require_int(self.task_retries, "task_retries", 0)
+        if self.check_timeout_s is not None:
+            if isinstance(self.check_timeout_s, bool) or not isinstance(
+                self.check_timeout_s, (int, float)
+            ):
+                raise ConfigError(
+                    f"check_timeout_s must be a number of seconds (or None), "
+                    f"got {self.check_timeout_s!r}"
+                )
+            if self.check_timeout_s <= 0:
+                raise ConfigError(
+                    f"check_timeout_s must be > 0, got {self.check_timeout_s!r}"
+                )
         from repro.aig.simvec import SIM_BACKENDS
 
         if self.sim_backend not in SIM_BACKENDS:
@@ -317,6 +347,8 @@ class DetectionConfig:
             "split": self.split,
             "split_conflicts": self.split_conflicts,
             "split_depth": self.split_depth,
+            "task_retries": self.task_retries,
+            "check_timeout_s": self.check_timeout_s,
         }
 
     @classmethod

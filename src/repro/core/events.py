@@ -399,6 +399,49 @@ class SolverProgress(ClassEvent):
 
 
 @dataclass(frozen=True)
+class WorkerLost(ClassEvent):
+    """The worker settling this class died; the scheduler is recovering.
+
+    Emitted once per affected class when a worker process crashed mid-task.
+    ``retries`` is how many times the task had been requeued when the event
+    was emitted; ``quarantined`` marks the terminal case — the retry budget
+    (``DetectionConfig.task_retries``) ran out and the class settles as an
+    inconclusive ``error`` outcome instead of aborting the run.  A
+    successfully retried task emits no event at all (its classes settle
+    normally on the respawned worker), so ``WorkerLost`` always carries
+    ``quarantined=True`` today; the flag is wire-visible for forward
+    compatibility with per-retry streaming.
+    """
+
+    kind: str = "fanout"
+    retries: int = 0
+    quarantined: bool = False
+
+    @property
+    def label(self) -> str:
+        return class_label(self.index, self.kind)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data.update(
+            kind=self.kind,
+            retries=self.retries,
+            quarantined=self.quarantined,
+        )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkerLost":
+        return cls(
+            design=data["design"],
+            index=data["index"],
+            kind=data.get("kind", "fanout"),
+            retries=data.get("retries", 0),
+            quarantined=data.get("quarantined", False),
+        )
+
+
+@dataclass(frozen=True)
 class CexFound(ClassEvent):
     """The SAT search produced a counterexample for this class.
 
@@ -523,6 +566,7 @@ WIRE_EVENT_TYPES: Dict[str, Type[RunEvent]] = {
         ClassSplit,
         ClassSimFalsified,
         SolverProgress,
+        WorkerLost,
         StructurallyDischarged,
         ClassProven,
         CexFound,

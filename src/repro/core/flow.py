@@ -181,6 +181,7 @@ class TrojanDetectionFlow:
             self._config.jobs,
             {plan.key: plan.work_unit},
             seeds={plan.key: seed},
+            task_retries=self._config.task_retries,
         )
         try:
             yield from run_plans([plan], executor)

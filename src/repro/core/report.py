@@ -37,12 +37,15 @@ from repro.rtl.fanout import FanoutAnalysis
 #: aggregated from spans; null unless the run was traced).
 #: v7: added the per-outcome cube-and-conquer telemetry ``cubes`` and
 #: ``cubes_cached`` (0 for classes settled monolithically).
-SCHEMA_VERSION = 7
+#: v8: added the per-outcome ``status`` ("ok" / "timeout" / "error"), the
+#: ``inconclusive`` verdict, and the fault-tolerance counters
+#: ``execution.workers_lost`` / ``execution.tasks_retried``.
+SCHEMA_VERSION = 8
 
 #: Versions ``from_dict`` can still read.  Older versions are accepted
-#: because v2..v7 are purely additive (missing blocks and fields default
+#: because v2..v8 are purely additive (missing blocks and fields default
 #: when absent).
-READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
+READABLE_SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
 def check_schema_version(data: Dict[str, Any], what: str = "report") -> None:
@@ -69,11 +72,19 @@ def execution_summary_line(workers: int, cache_hits: int, cache_misses: int) -> 
 
 
 class Verdict(Enum):
-    """Overall outcome of a detection run."""
+    """Overall outcome of a detection run.
+
+    ``INCONCLUSIVE`` is the fail-closed degradation of ``SECURE``: at least
+    one property class could not be settled (its worker was quarantined or
+    its check hit the wall-clock deadline) and nothing else failed.  Like
+    every non-``SECURE`` verdict it keeps :attr:`DetectionReport.trojan_detected`
+    true — an unproven design is never reported clean.
+    """
 
     SECURE = "secure"
     TROJAN_SUSPECTED = "trojan-suspected"
     UNCOVERED_SIGNALS = "uncovered-signals"
+    INCONCLUSIVE = "inconclusive"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -101,6 +112,13 @@ class PropertyOutcome:
     # those verdicts were replayed from per-cube cache entries.
     cubes: int = 0
     cubes_cached: int = 0
+    # How the class settled: "ok" (a real verdict), "timeout" (the check
+    # exceeded ``check_timeout_s``; ``result`` carries partial telemetry),
+    # or "error" (the task's worker died repeatedly and was quarantined).
+    # Anything but "ok" makes the class inconclusive — ``holds`` stays True
+    # only in the sense of "not falsified", and the run verdict degrades to
+    # ``Verdict.INCONCLUSIVE`` unless a real failure outranks it.
+    status: str = "ok"
 
     @property
     def label(self) -> str:
@@ -143,11 +161,15 @@ class DetectionReport:
     solver_deleted_clauses: int = 0
     cnf_clauses: int = 0
     cnf_clauses_reused: int = 0
-    # Execution-subsystem statistics: worker-process count of the run and
-    # how many classes replayed from / were written to the result cache.
+    # Execution-subsystem statistics: worker-process count of the run, how
+    # many classes replayed from / were written to the result cache, and the
+    # fault-tolerance counters (worker processes that died mid-run, tasks
+    # requeued onto respawned workers).
     workers: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    workers_lost: int = 0
+    tasks_retried: int = 0
     # Preprocessing statistics of the simulation-guided simplification
     # subsystem (:mod:`repro.aig` simvec/simplify/fraig), aggregated over
     # the run's outcomes: miter-cone sizes before/after sweeping, proven
@@ -234,6 +256,8 @@ class DetectionReport:
                 "workers": self.workers,
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
+                "workers_lost": self.workers_lost,
+                "tasks_retried": self.tasks_retried,
             },
             "preprocess": {
                 "nodes_before": self.preprocess_nodes_before,
@@ -291,6 +315,8 @@ class DetectionReport:
                 workers=execution.get("workers", 1),
                 cache_hits=execution.get("cache_hits", 0),
                 cache_misses=execution.get("cache_misses", 0),
+                workers_lost=execution.get("workers_lost", 0),
+                tasks_retried=execution.get("tasks_retried", 0),
                 preprocess_nodes_before=preprocess.get("nodes_before", 0),
                 preprocess_nodes_after=preprocess.get("nodes_after", 0),
                 preprocess_merged_nodes=preprocess.get("merged_nodes", 0),
@@ -335,6 +361,17 @@ class DetectionReport:
         execution_line = execution_summary_line(self.workers, self.cache_hits, self.cache_misses)
         if execution_line is not None:
             lines.append(execution_line)
+        if self.workers_lost or self.tasks_retried:
+            lines.append(
+                f"  faults: {self.workers_lost} worker(s) lost, "
+                f"{self.tasks_retried} task retry(ies)"
+            )
+        unsettled = [outcome for outcome in self.outcomes if outcome.status != "ok"]
+        if unsettled:
+            kinds = ", ".join(
+                f"{outcome.label} ({outcome.status})" for outcome in unsettled
+            )
+            lines.append(f"  unsettled classes: {kinds}")
         if self.preprocess_sim_falsified or self.preprocess_merged_nodes:
             lines.append(
                 f"  preprocess: {self.preprocess_sim_falsified} class(es) "
@@ -405,6 +442,7 @@ def _outcome_to_dict(outcome: PropertyOutcome) -> Dict[str, Any]:
         "sweep_s": result.sweep_seconds,
         "cubes": outcome.cubes,
         "cubes_cached": outcome.cubes_cached,
+        "status": outcome.status,
     }
 
 
@@ -440,6 +478,7 @@ def _outcome_from_dict(data: Dict[str, Any]) -> PropertyOutcome:
         first_divergence_cycle=data.get("first_divergence_cycle"),
         cubes=data.get("cubes", 0),
         cubes_cached=data.get("cubes_cached", 0),
+        status=data.get("status", "ok"),
     )
 
 

@@ -53,6 +53,16 @@ class ConflictLimitExceeded(SolverError):
     """
 
 
+class CheckDeadlineExceeded(SolverError):
+    """Raised when a budgeted SAT call exceeds its wall-clock deadline.
+
+    The persistent solver is left backtracked to level 0 and fully reusable;
+    the caller settles the affected property class as an inconclusive
+    ``timeout`` outcome carrying whatever telemetry the aborted call gathered
+    (see ``DetectionConfig.check_timeout_s``).
+    """
+
+
 class PropertyError(ReproError):
     """Raised when an interval property is malformed (e.g. empty prove part)."""
 

@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.exec import faults as _faults
 from repro.exec.fingerprint import CACHE_SCHEMA_VERSION
 from repro.obs.trace import span as _span
 
@@ -57,6 +58,12 @@ class ResultCache:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The record stored under ``key``, or None (miss / unusable entry)."""
         path = self._path_for(key)
+        if _faults.fire("cache_corrupt"):
+            # Fault-injection seam: behave exactly as a torn/corrupt entry
+            # would — count it and miss — so the degradation path is testable
+            # without staging broken files on disk.
+            self.corrupt_skipped += 1
+            return None
         with _span("cache", op="get"):
             try:
                 with open(path, "r", encoding="utf-8") as handle:

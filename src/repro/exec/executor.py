@@ -25,7 +25,9 @@ enqueued thanks to the bounded feeder).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as _queue
+import signal
 import traceback
 import warnings
 from abc import ABC, abstractmethod
@@ -39,6 +41,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 MAX_CONTEXTS_PER_WORKER = 4
 
 from repro.errors import ReproError
+from repro.exec import faults as _faults
 from repro.exec.records import (
     Cube,
     TaskEntry,
@@ -106,6 +109,10 @@ class ChunkOutcome:
     stats: Dict[str, object]
     worker: str
     skipped: bool = False
+    #: True when the task's worker died repeatedly and the retry budget ran
+    #: out: ``results`` is empty and the scheduler settles the task's classes
+    #: as inconclusive ``error`` outcomes instead of aborting the run.
+    quarantined: bool = False
 
 
 @dataclass
@@ -161,6 +168,13 @@ class ContextPool:
 
 class Executor(ABC):
     """Runs chunk tasks; yields outcomes in submission order."""
+
+    #: Worker processes that died mid-run (pool executors count these; the
+    #: serial executor cannot lose a worker).  Reports carry both counters
+    #: in their ``execution`` block.
+    workers_lost: int = 0
+    #: Tasks requeued onto a respawned worker after their worker died.
+    tasks_retried: int = 0
 
     @property
     @abstractmethod
@@ -299,12 +313,16 @@ class SerialExecutor(Executor):
 # ---------------------------------------------------------------------- #
 
 
-def _pool_worker_main(worker_name, units, task_queue, result_queue) -> None:
+def _pool_worker_main(worker_name, units, task_queue, result_queue, claim_queue) -> None:
     """Worker loop: steal tasks, settle them with per-design engine affinity.
 
     Runs in the child process.  Every exception is reported as a message,
     never as a dead worker, so the parent can fail loudly with the original
-    traceback.
+    traceback.  Before executing a task the worker *claims* it on
+    ``claim_queue`` (a SimpleQueue: the put writes straight to the pipe, so
+    the claim survives even a SIGKILL issued immediately afterwards) —
+    that claim is what lets the parent attribute an in-flight task to a
+    worker that died without reporting a result.
     """
     # Fork copies the parent's contextvars: a parent-installed tracer or
     # progress sink would silently collect into objects whose consumers live
@@ -316,11 +334,26 @@ def _pool_worker_main(worker_name, units, task_queue, result_queue) -> None:
 
     _obs_trace.clear()
     _obs_progress.clear()
+    # Fault plans are per-process: the forked worker re-reads REPRO_FAULTS so
+    # its counters start fresh (a respawned worker does too, which is what
+    # makes worker_kill@task:N a retryable fault rather than a fatal loop).
+    _faults.set_plan(None)
     contexts = ContextPool(lambda design_key: DesignWorkContext(units[design_key]))
     while True:
         task = task_queue.get()
         if task is None:
             break
+        claim_queue.put((worker_name, task.task_id))
+        if _faults.fire("worker_kill"):
+            # Drain the result feeder before dying.  The planned fault
+            # simulates a crash in the *work*, not inside the IPC layer: a
+            # SIGKILL landing while the feeder thread holds the shared
+            # result queue's write lock would leave the lock held forever,
+            # blocking every surviving worker's puts — a hang no supervisor
+            # can attribute, since all remaining workers stay alive.
+            result_queue.close()
+            result_queue.join_thread()
+            os.kill(os.getpid(), signal.SIGKILL)
         try:
             context = contexts.get(task.design_key)
             if isinstance(task, CubeTask):
@@ -348,20 +381,33 @@ class ProcessPoolExecutor(Executor):
     that a failing class made pointless.
     """
 
-    def __init__(self, units: Dict[str, WorkUnit], jobs: int) -> None:
+    def __init__(
+        self, units: Dict[str, WorkUnit], jobs: int, task_retries: int = 2
+    ) -> None:
         if jobs < 2:
             raise ReproError(f"ProcessPoolExecutor needs jobs >= 2, got {jobs}")
         self._units = units
         self._jobs = jobs
+        self._task_retries = task_retries
         self._mp = multiprocessing.get_context("fork")
         self._processes: List[multiprocessing.Process] = []
+        self._spawned = 0  # monotonic: respawned workers get fresh names
         self._task_queue = None
         self._result_queue = None
+        self._claim_queue = None
         self._cancelled: Set[str] = set()
         self._closed = False
         self._pending: "deque[Task]" = deque()
         self._completed: Dict[int, ChunkOutcome] = {}
         self._outstanding = 0
+        # Supervision state: which worker holds which task, the fed-but-
+        # unfinished tasks by id (for requeueing), and per-task retry counts.
+        self._inflight_by_worker: Dict[str, List[int]] = {}
+        self._inflight_tasks: Dict[int, Task] = {}
+        self._retry_counts: Dict[int, int] = {}
+        self._unattributed_deaths = 0
+        self.workers_lost = 0
+        self.tasks_retried = 0
 
     @property
     def workers(self) -> int:
@@ -382,16 +428,20 @@ class ProcessPoolExecutor(Executor):
         if self._task_queue is None:
             self._task_queue = self._mp.Queue()
             self._result_queue = self._mp.Queue()
+            self._claim_queue = self._mp.SimpleQueue()
         target = min(self._jobs, max(demand, 1))
         while len(self._processes) < target:
-            worker_index = len(self._processes)
+            worker_name = f"worker-{self._spawned}"
+            self._spawned += 1
             process = self._mp.Process(
                 target=_pool_worker_main,
+                name=worker_name,
                 args=(
-                    f"worker-{worker_index}",
+                    worker_name,
                     self._units,
                     self._task_queue,
                     self._result_queue,
+                    self._claim_queue,
                 ),
                 daemon=True,
             )
@@ -431,34 +481,122 @@ class ProcessPoolExecutor(Executor):
                 )
                 continue
             self._task_queue.put(task)
+            self._inflight_tasks[task.task_id] = task
             self._outstanding += 1
+
+    def _drain_claims(self) -> None:
+        """Apply pending worker → task claims (non-blocking).
+
+        Claims are written to their pipe *before* the corresponding result
+        is put, so draining claims before processing a result guarantees
+        the in-flight map is current when the result clears it.
+        """
+        while self._claim_queue is not None and not self._claim_queue.empty():
+            worker, task_id = self._claim_queue.get()
+            if task_id in self._inflight_tasks:
+                self._inflight_by_worker.setdefault(worker, []).append(task_id)
+
+    def _supervise(self) -> bool:
+        """Detect dead workers; requeue or quarantine their in-flight tasks.
+
+        Returns True when supervision made progress (a retry or a
+        quarantine), so the caller can reset its stall escalation.  Workers
+        only exit after the close() sentinel — any mid-run death is a hard
+        crash (OOM kill, native segfault, fault injection).
+        """
+        self._drain_claims()
+        dead = [p for p in self._processes if not p.is_alive()]
+        if not dead:
+            return False
+        progressed = False
+        for process in dead:
+            self._processes.remove(process)
+            worker = process.name
+            # Every unsettled claim the worker ever made is suspect: a
+            # SIGKILL can swallow results still sitting in the worker's
+            # queue-feeder buffer, so an *earlier* claimed task may be lost
+            # even though the worker had already moved on to a later one.
+            claimed = [
+                task_id
+                for task_id in self._inflight_by_worker.pop(worker, [])
+                if task_id in self._inflight_tasks
+            ]
+            if not claimed:
+                # Died idle, or in the microscopic window between stealing a
+                # task and claiming it.  Nothing attributable to requeue —
+                # the stall escalation in wait() covers the pathological case.
+                if self._outstanding:
+                    self._unattributed_deaths += 1
+                continue
+            self.workers_lost += 1
+            for task_id in claimed:
+                task = self._inflight_tasks[task_id]
+                retries = self._retry_counts.get(task_id, 0)
+                if retries < self._task_retries:
+                    self._retry_counts[task_id] = retries + 1
+                    self.tasks_retried += 1
+                    self._task_queue.put(task)  # still counted as outstanding
+                else:
+                    self._settle_task(task_id)
+                    self._completed[task_id] = ChunkOutcome(
+                        task_id=task_id,
+                        design_key=task.design_key,
+                        results=[],
+                        stats={},
+                        worker=worker,
+                        quarantined=True,
+                    )
+            progressed = True
+        if self._pending or self._outstanding:
+            self._ensure_workers(self._outstanding + len(self._pending))
+        return progressed
+
+    def _settle_task(self, task_id: int) -> None:
+        """Drop a finished/quarantined task from the supervision state."""
+        self._outstanding -= 1
+        self._inflight_tasks.pop(task_id, None)
+        self._retry_counts.pop(task_id, None)
+        for worker, held in list(self._inflight_by_worker.items()):
+            if task_id in held:
+                held.remove(task_id)
+                if not held:
+                    del self._inflight_by_worker[worker]
 
     def wait(self, task_id: int) -> ChunkOutcome:
         if self._closed and task_id not in self._completed:
             raise ReproError("executor is closed")
+        stalled_polls = 0
         while task_id not in self._completed:
             self._feed()
             if not self._outstanding and not self._pending:
                 raise ReproError(f"unknown task id {task_id}")
             try:
-                message = self._result_queue.get(timeout=5.0)
+                message = self._result_queue.get(timeout=1.0)
             except _queue.Empty:
-                # Workers only exit after the close() sentinel, so a dead
-                # process mid-run means a hard crash (OOM kill, native
-                # segfault).  Its task would never complete — fail loudly
-                # instead of waiting forever, even while other workers are
-                # still alive.
-                dead = [p for p in self._processes if not p.is_alive()]
-                if self._outstanding and dead:
-                    names = ", ".join(p.name or "?" for p in dead)
+                if self._supervise():
+                    stalled_polls = 0
+                else:
+                    stalled_polls += 1
+                # A worker that died before claiming its task leaves the
+                # loss unattributable; if nothing at all progresses after
+                # that, fail loudly instead of waiting forever.
+                if self._unattributed_deaths and stalled_polls >= 30:
                     raise ReproError(
-                        f"parallel worker process(es) died without reporting "
-                        f"a result ({names}); rerun with --jobs 1 to "
-                        f"reproduce the failure inline"
+                        "parallel worker process(es) died without reporting "
+                        "a result or claiming a task, and the run has "
+                        "stalled; rerun with --jobs 1 to reproduce the "
+                        "failure inline"
                     ) from None
                 continue
+            stalled_polls = 0
+            self._drain_claims()
             done_id, design_key, records, stats, worker, error = message
-            self._outstanding -= 1
+            if done_id not in self._inflight_tasks:
+                # A late duplicate: the task was requeued after its worker
+                # was presumed dead, but the original result made it out
+                # first (or vice versa).  The first settle wins.
+                continue
+            self._settle_task(done_id)
             if error is not None:
                 raise ReproError(
                     f"parallel worker {worker} failed while settling "
@@ -505,10 +643,19 @@ class ProcessPoolExecutor(Executor):
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+            if process.is_alive():
+                # A worker stuck in an uninterruptible state can survive
+                # SIGTERM; SIGKILL cannot be caught, so this join is final —
+                # without it the child stays a zombie for the parent's
+                # lifetime.
+                process.kill()
+                process.join()
         for q in (self._task_queue, self._result_queue):
             if q is not None:
                 q.cancel_join_thread()
                 q.close()
+        if self._claim_queue is not None:
+            self._claim_queue.close()
         self._processes = []
 
 
@@ -516,6 +663,7 @@ def create_executor(
     jobs: int,
     units: Dict[str, WorkUnit],
     seeds: Optional[Dict[str, ContextSeed]] = None,
+    task_retries: int = 2,
 ) -> Executor:
     """Executor factory: serial for ``jobs <= 1``, forked pool otherwise.
 
@@ -532,4 +680,4 @@ def create_executor(
             stacklevel=2,
         )
         return SerialExecutor(units, seeds=seeds)
-    return ProcessPoolExecutor(units, jobs)
+    return ProcessPoolExecutor(units, jobs, task_retries=task_retries)

@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the fault-tolerance test suite.
+
+Robustness code is only trustworthy if its failure paths actually run, and
+real faults (a worker OOM-killed mid-solve, a cache entry corrupted by a
+torn write, a SAT check that stalls for minutes) are miserable to reproduce
+on demand.  This module turns them into a deterministic, env-driven plan::
+
+    REPRO_FAULTS=worker_kill@task:2,cache_corrupt@class:1,solver_stall@check:3
+
+Each spec is ``kind@scope:nth`` — *kind* names the fault, *scope* names the
+unit the seam counts, and *nth* is the 1-based occurrence at which the fault
+fires (exactly once per process).  The supported kinds and their seams:
+
+``worker_kill@task:N``
+    The pool worker loop (:func:`repro.exec.executor._pool_worker_main`)
+    SIGKILLs its own process when it picks up its N-th task — the closest
+    deterministic stand-in for a crash/OOM kill.  Counted per worker
+    process, so a respawned worker starts a fresh count and the retried
+    task completes.
+``cache_corrupt@class:N``
+    The N-th :meth:`repro.exec.cache.ResultCache.get` in the process
+    behaves as if the entry on disk were corrupt (counted as
+    ``corrupt_skipped``, returned as a miss).
+``solver_stall@check:N``
+    The N-th :meth:`repro.sat.solver.SatSolver.solve` call in the process
+    stalls (sleeps) past its wall-clock deadline before searching, so the
+    ``check_timeout_s`` path fires deterministically.  Without a deadline
+    the stall is bounded (0.25 s) so a misconfigured plan cannot hang a run.
+
+Faults are counted per process and inherited over ``fork`` via the
+environment, so pool workers each run their own copy of the plan.  The
+module is a no-op (one dict lookup per seam) unless a plan is installed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Environment variable holding the fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Supported fault kinds and the scope token each one's seam counts.
+FAULT_SCOPES = {
+    "worker_kill": "task",
+    "cache_corrupt": "class",
+    "solver_stall": "check",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``kind@scope:nth`` entry of a fault plan."""
+
+    kind: str
+    scope: str
+    nth: int
+
+
+class FaultPlan:
+    """A set of fault specs plus per-kind occurrence counters.
+
+    ``fire(kind)`` increments the counter for *kind* and reports whether
+    this occurrence is one the plan wants faulted.  Counters live on the
+    plan instance, so one plan == one process's deterministic schedule.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...] = ()):
+        self.specs = tuple(specs)
+        self._nths: Dict[str, frozenset] = {}
+        for spec in self.specs:
+            nths = set(self._nths.get(spec.kind, frozenset()))
+            nths.add(spec.nth)
+            self._nths[spec.kind] = frozenset(nths)
+        self._counts: Dict[str, int] = {}
+
+    def fire(self, kind: str) -> bool:
+        """Count one occurrence of *kind*'s seam; true when it must fault."""
+        nths = self._nths.get(kind)
+        if nths is None:
+            return False
+        count = self._counts.get(kind, 0) + 1
+        self._counts[kind] = count
+        return count in nths
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+def parse_fault_plan(text: str) -> FaultPlan:
+    """Parse a ``kind@scope:nth[,...]`` plan string (:data:`FAULTS_ENV`).
+
+    Malformed specs raise :class:`ReproError` — a typoed chaos plan must
+    fail the run loudly, not silently inject nothing.
+    """
+    specs: List[FaultSpec] = []
+    for raw in text.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        head, sep, nth_text = entry.partition(":")
+        kind, at, scope = head.partition("@")
+        if not sep or not at or not kind or not scope or not nth_text:
+            raise ReproError(
+                f"malformed fault spec {entry!r}; expected kind@scope:nth "
+                f"(e.g. worker_kill@task:2)"
+            )
+        if kind not in FAULT_SCOPES:
+            raise ReproError(
+                f"unknown fault kind {kind!r}; "
+                f"available: {', '.join(sorted(FAULT_SCOPES))}"
+            )
+        if scope != FAULT_SCOPES[kind]:
+            raise ReproError(
+                f"fault {kind!r} is counted per {FAULT_SCOPES[kind]!r}, "
+                f"not per {scope!r}"
+            )
+        try:
+            nth = int(nth_text)
+        except ValueError:
+            nth = 0
+        if nth < 1:
+            raise ReproError(
+                f"fault occurrence must be a 1-based integer, got {nth_text!r}"
+            )
+        specs.append(FaultSpec(kind=kind, scope=scope, nth=nth))
+    return FaultPlan(tuple(specs))
+
+
+# The process-wide active plan.  ``None`` means "not yet resolved from the
+# environment"; an empty FaultPlan means "resolved, nothing to inject".
+_active: Optional[FaultPlan] = None
+
+
+def active_plan() -> FaultPlan:
+    """The process's fault plan, resolved lazily from :data:`FAULTS_ENV`."""
+    global _active
+    if _active is None:
+        text = os.environ.get(FAULTS_ENV, "")
+        _active = parse_fault_plan(text) if text else FaultPlan()
+    return _active
+
+
+def set_plan(plan: Optional[FaultPlan]) -> None:
+    """Install *plan* as the process's active plan (tests), or reset with
+    ``None`` so the next seam re-reads :data:`FAULTS_ENV`."""
+    global _active
+    _active = plan
+
+
+def fire(kind: str) -> bool:
+    """Seam entry point: count one occurrence of *kind*, true to fault."""
+    return active_plan().fire(kind)

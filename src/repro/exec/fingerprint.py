@@ -47,7 +47,10 @@ from repro.rtl.ir import Module
 #: cube-and-conquer telemetry (``cubes``, ``cubes_cached``), and the cache
 #: gained two new record types under their own key shapes — split records
 #: (the cube set of an aborted monolithic solve) and per-cube verdicts.
-CACHE_SCHEMA_VERSION = 6
+#: v7: outcome records gained the ``status`` field and the ``timeout`` /
+#: ``error`` terminals (fault-tolerant execution) — older readers would
+#: reject the new terminals, so the layouts must not alias.
+CACHE_SCHEMA_VERSION = 7
 
 
 class _Hasher:
@@ -173,6 +176,11 @@ def config_fingerprint(config: DetectionConfig, backend_name: str) -> str:
     # telemetry of every class settled after the first inprocessing pass —
     # so records of inprocessed and untouched runs must never alias.
     hasher.feed(f"inprocess/{config.inprocess}")
+    # The wall-clock deadline decides whether a hard class settles at all
+    # (timeout outcomes are never cached, but a deadline also changes the
+    # partial telemetry of every class that races it), so runs with
+    # different deadlines must never share records.  Both modes check it.
+    hasher.feed(f"check-timeout/{config.check_timeout_s}")
     if config.mode == "sequential":
         hasher.feed(f"depth/{config.depth}")
         hasher.feed("reset-values")

@@ -32,6 +32,7 @@ from repro.core.events import (
     PropertyScheduled,
     RunEvent,
     StructurallyDischarged,
+    WorkerLost,
 )
 from repro.core.report import (
     PropertyOutcome,
@@ -64,10 +65,19 @@ class ClassResult:
     kind: str  # "init", "fanout", or "sequential"
     property_name: str
     commitments: int
-    terminal: str  # "structural" | "proven" | "cex"
+    # "structural" | "proven" | "cex" are real verdicts; "timeout" (the
+    # check exceeded its wall-clock deadline) and "error" (the task's
+    # worker was quarantined) are inconclusive — their outcomes carry
+    # ``status != "ok"`` and are never written to the result cache.
+    terminal: str
     outcome: PropertyOutcome
     rounds: List[SpuriousRound] = field(default_factory=list)
     from_cache: bool = False
+    # Retry count behind an "error" terminal (how often the task was
+    # requeued before quarantine).  Event-stream telemetry only: not part
+    # of the serialized record, because error results are synthesized on
+    # the scheduler side and never cross the queue or the cache.
+    retries: int = 0
 
     def events(self) -> List[RunEvent]:
         """The typed event group this class contributes, in emission order."""
@@ -130,7 +140,22 @@ class ClassResult:
                     signals=tuple(round_.waived_signals),
                 )
             )
-        if self.terminal == "structural":
+        if self.terminal == "error":
+            events.append(
+                WorkerLost(
+                    design=self.design,
+                    index=self.index,
+                    kind=self.kind,
+                    retries=self.retries,
+                    quarantined=True,
+                )
+            )
+        elif self.terminal == "timeout":
+            # An inconclusive class has no terminal verdict event: the
+            # outcome (status="timeout", partial telemetry) rides in the
+            # report, and consumers treat RunFinished as the stream's end.
+            pass
+        elif self.terminal == "structural":
             events.append(
                 StructurallyDischarged(
                     design=self.design,
@@ -260,7 +285,7 @@ def class_result_from_record(
             for entry in record.get("rounds", [])
         ]
         terminal = record["terminal"]
-        if terminal not in ("structural", "proven", "cex"):
+        if terminal not in ("structural", "proven", "cex", "timeout", "error"):
             raise ReproError(f"unknown terminal kind {terminal!r}")
         return ClassResult(
             design=design,

@@ -30,7 +30,12 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.core.config import DetectionConfig
 from repro.core.coverage import check_signal_coverage
 from repro.core.events import RunEvent, RunFinished, RunStarted
-from repro.core.report import DetectionReport, Verdict, outcome_from_dict
+from repro.core.report import (
+    DetectionReport,
+    PropertyOutcome,
+    Verdict,
+    outcome_from_dict,
+)
 from repro.core.unroll import sequential_output_classes
 from repro.errors import ConfigError, ReproError
 from repro.exec.cache import ResultCache
@@ -55,6 +60,8 @@ from repro.exec.records import (
     split_result_to_record,
 )
 from repro.exec.worker import WorkUnit, resolved_backend_name
+from repro.ipc.engine import PropertyCheckResult
+from repro.ipc.prop import IntervalProperty
 from repro.obs import trace as _obs_trace
 from repro.rtl.fanout import FanoutAnalysis, compute_fanout_classes
 from repro.rtl.ir import Module
@@ -96,6 +103,54 @@ def shard_indices(
         for start in range(0, len(run), chunk_size):
             shards.append(tuple(run[start : start + chunk_size]))
     return shards
+
+
+def quarantined_class_result(
+    name: str,
+    config: DetectionConfig,
+    index: int,
+    kind: Optional[str] = None,
+    property_name: Optional[str] = None,
+    commitments: int = 0,
+) -> ClassResult:
+    """Synthesize the inconclusive result of a quarantined class.
+
+    A class lands here when every worker process that picked its task up
+    died before reporting (the retry budget ``config.task_retries`` is
+    exhausted).  ``holds=True`` keeps the crash from masquerading as a
+    detection; the ``status="error"`` marker forces the run's verdict down
+    to ``inconclusive`` and keeps the outcome out of the result cache.  The
+    property name is a placeholder — the worker that would have built the
+    real property is exactly the thing that kept dying.
+    """
+    if kind is None:
+        if config.mode == "sequential":
+            kind = "sequential"
+        else:
+            kind = "init" if index == 0 else "fanout"
+    if property_name is None:
+        property_name = f"quarantined_class_{index}"
+    result = PropertyCheckResult(
+        prop=IntervalProperty(
+            name=property_name,
+            description=(
+                f"class abandoned: the worker process holding its task died "
+                f"{config.task_retries + 1} time(s)"
+            ),
+        ),
+        holds=True,
+    )
+    outcome = PropertyOutcome(kind=kind, index=index, result=result, status="error")
+    return ClassResult(
+        design=name,
+        index=index,
+        kind=kind,
+        property_name=property_name,
+        commitments=commitments,
+        terminal="error",
+        outcome=outcome,
+        retries=config.task_retries,
+    )
 
 
 @dataclass
@@ -367,6 +422,15 @@ class DesignPlan:
             if report.verdict is Verdict.SECURE and not coverage.complete:
                 report.verdict = Verdict.UNCOVERED_SIGNALS
                 report.detected_by = "coverage check"
+        if report.verdict is Verdict.SECURE and any(
+            outcome.status != "ok" for outcome in report.outcomes
+        ):
+            # Fail closed: a run that could not settle every scheduled class
+            # (timeouts, quarantined crashes) must not claim the design
+            # secure.  A genuine detection or coverage gap still outranks
+            # the unsettled classes — those verdicts stand on the classes
+            # that *did* settle.
+            report.verdict = Verdict.INCONCLUSIVE
         report.total_runtime_seconds = elapsed
         return report
 
@@ -376,6 +440,11 @@ class DesignPlan:
             return
         for result in merged:
             if result.from_cache:
+                continue
+            if result.outcome.status != "ok":
+                # Timeouts and quarantines are artifacts of *this* run's
+                # execution (deadlines, crashes), not verdicts about the
+                # design; they must never replay from the cache.
                 continue
             key = self.cache_keys.get(result.index)
             if key is not None:
@@ -459,6 +528,18 @@ def run_plans(plans: Sequence[DesignPlan], executor: Executor) -> Iterator[RunEv
             executor.submit([task for task, _ in pending], urgent=True)
         for task, key in pending:
             outcome = executor.wait(task.task_id)
+            if outcome.quarantined:
+                # Every worker that picked this cube up died: the class
+                # cannot be completed; degrade it whole to an inconclusive
+                # error result (other pending cube outcomes are abandoned).
+                return quarantined_class_result(
+                    plan.name,
+                    plan.config,
+                    split.index,
+                    kind=split.kind,
+                    property_name=split.property_name,
+                    commitments=split.commitments,
+                )
             if outcome.skipped or not outcome.results:
                 raise ReproError(
                     f"cube task for class {split.index} of {plan.name!r} "
@@ -485,6 +566,15 @@ def run_plans(plans: Sequence[DesignPlan], executor: Executor) -> Iterator[RunEv
             next_task_id += 1
             executor.submit([task], urgent=True)
             outcome = executor.wait(task.task_id)
+            if outcome.quarantined:
+                return quarantined_class_result(
+                    plan.name,
+                    plan.config,
+                    split.index,
+                    kind=split.kind,
+                    property_name=split.property_name,
+                    commitments=split.commitments,
+                )
             consume_stats(outcome, chunk_stats)
             result = next(
                 (
@@ -547,7 +637,9 @@ def run_plans(plans: Sequence[DesignPlan], executor: Executor) -> Iterator[RunEv
                 entry = next(
                     (entry for entry in outcome.results if entry.index == index), None
                 )
-                if isinstance(entry, SplitResult):
+                if entry is None and outcome.quarantined:
+                    result = quarantined_class_result(plan.name, plan.config, index)
+                elif isinstance(entry, SplitResult):
                     if plan.cache is not None:
                         plan.cache.put(
                             split_cache_key(plan.module_fp, plan.config_fp, index),
@@ -568,6 +660,11 @@ def run_plans(plans: Sequence[DesignPlan], executor: Executor) -> Iterator[RunEv
                 break
         elapsed = _time.perf_counter() - started
         report = plan.assemble_report(merged, chunk_stats, workers, elapsed)
+        # Fault accounting is executor-global (a pooled batch cannot
+        # attribute a worker death to one design), so every report of the
+        # run carries the run-level totals; normalization strips them.
+        report.workers_lost = executor.workers_lost
+        report.tasks_retried = executor.tasks_retried
         plan.write_back(merged)
         yield RunFinished(
             design=plan.name, report=report, elapsed_s=report.total_runtime_seconds

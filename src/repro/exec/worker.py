@@ -31,7 +31,7 @@ from repro.core.falsealarm import diagnose_counterexample
 from repro.core.properties import build_fanout_property, build_init_property
 from repro.core.report import PropertyOutcome, outcome_to_dict
 from repro.core.unroll import SequentialUnroller, sequential_output_classes
-from repro.errors import ConfigError, ConflictLimitExceeded
+from repro.errors import CheckDeadlineExceeded, ConfigError, ConflictLimitExceeded
 from repro.exec.records import ClassResult, Cube, CubeVerdict, SplitResult, SpuriousRound
 from repro.ipc.engine import IpcEngine, PropertyCheckResult
 from repro.obs import progress as _progress
@@ -323,43 +323,104 @@ class DesignWorkContext:
         budget: Optional[int] = None
         if allow_split and self._config.split and self._config.mode != "sequential":
             budget = self._config.split_conflicts
+        # One wall-clock deadline covers the *whole* class settle — the fast
+        # path, spurious-resolution rounds and the canonical witness
+        # re-settle together — so ``check_timeout_s`` bounds the task a
+        # supervisor would otherwise see hang, not one solver call.
+        started = _time.perf_counter()
+        deadline_s: Optional[float] = None
+        if self._config.check_timeout_s is not None:
+            deadline_s = _time.monotonic() + self._config.check_timeout_s
         try:
-            result = self._settle_once(k, conflict_limit=budget)
-        except ConflictLimitExceeded:
-            # The monolithic check blew its conflict budget: abandon it (the
-            # persistent context is backtracked and fully reusable) and turn
-            # the class into cube tasks instead.
-            return self._split_class(k)
-        if (result.rounds or result.terminal == "cex") and not (
-            virgin and _has_canonical_settings(self._config)
-        ):
-            canonical_unit = replace(
-                self._unit, config=canonical_witness_config(self._config)
-            )
-            canonical = DesignWorkContext(
-                canonical_unit, analysis=self._analysis, graph=self._graph
-            )
-            result = canonical._settle_once(k)
-            # The re-proof's solver work happened on the canonical engine;
-            # fold it into this context's accounting so chunk deltas (and
-            # therefore the report's solver telemetry) cover it.
-            canonical_stats = canonical.stats_snapshot()
-            for counter in _WORK_COUNTERS:
-                self._extra_stats[counter] += canonical_stats[counter]
+            try:
+                result = self._settle_once(k, conflict_limit=budget, deadline_s=deadline_s)
+            except ConflictLimitExceeded:
+                # The monolithic check blew its conflict budget: abandon it
+                # (the persistent context is backtracked and fully reusable)
+                # and turn the class into cube tasks instead.
+                return self._split_class(k)
+            if (result.rounds or result.terminal == "cex") and not (
+                virgin and _has_canonical_settings(self._config)
+            ):
+                canonical_unit = replace(
+                    self._unit, config=canonical_witness_config(self._config)
+                )
+                canonical = DesignWorkContext(
+                    canonical_unit, analysis=self._analysis, graph=self._graph
+                )
+                result = canonical._settle_once(k, deadline_s=deadline_s)
+                # The re-proof's solver work happened on the canonical engine;
+                # fold it into this context's accounting so chunk deltas (and
+                # therefore the report's solver telemetry) cover it.
+                canonical_stats = canonical.stats_snapshot()
+                for counter in _WORK_COUNTERS:
+                    self._extra_stats[counter] += canonical_stats[counter]
+        except CheckDeadlineExceeded:
+            # The class ran past its wall-clock budget.  The engine is left
+            # backtracked and reusable; the class degrades to an
+            # *inconclusive* timeout outcome with partial telemetry instead
+            # of aborting the run.
+            return self._timeout_result(k, elapsed_s=_time.perf_counter() - started)
         if not self._config.simplify:
             _clear_preprocess_telemetry(result.outcome.result)
         return result
 
+    def _timeout_result(self, k: int, elapsed_s: float) -> ClassResult:
+        """The inconclusive ``terminal="timeout"`` result of a blown deadline.
+
+        ``holds=True`` keeps a timeout from masquerading as a detection; the
+        ``status="timeout"`` marker is what forces the run's verdict down to
+        ``inconclusive`` (never up to ``secure``) and keeps the outcome out
+        of the result cache.
+        """
+        if self._config.mode == "sequential":
+            kind = "sequential"
+            name = f"sequential_equivalence[{self.sequential_outputs[k]}]"
+            commitments = self._config.depth
+        else:
+            kind = "init" if k == 0 else "fanout"
+            prop = self.build_property(k)
+            name = prop.name
+            commitments = len(prop.commitments)
+        result = PropertyCheckResult(
+            prop=IntervalProperty(
+                name=name,
+                description=(
+                    f"check abandoned after exceeding the "
+                    f"{self._config.check_timeout_s}s wall-clock deadline"
+                ),
+            ),
+            holds=True,
+            runtime_seconds=elapsed_s,
+        )
+        outcome = PropertyOutcome(kind=kind, index=k, result=result, status="timeout")
+        return ClassResult(
+            design=self._unit.name,
+            index=k,
+            kind=kind,
+            property_name=name,
+            commitments=commitments,
+            terminal="timeout",
+            outcome=outcome,
+        )
+
     def _settle_once(
-        self, k: int, conflict_limit: Optional[int] = None
+        self,
+        k: int,
+        conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> ClassResult:
         """One settle pass against this context's own solver state."""
         self._virgin = False
         if self._config.mode == "sequential":
-            return self._settle_sequential_once(k)
-        return self._settle_combinational_once(k, conflict_limit=conflict_limit)
+            return self._settle_sequential_once(k, deadline_s=deadline_s)
+        return self._settle_combinational_once(
+            k, conflict_limit=conflict_limit, deadline_s=deadline_s
+        )
 
-    def _settle_sequential_once(self, k: int) -> ClassResult:
+    def _settle_sequential_once(
+        self, k: int, deadline_s: Optional[float] = None
+    ) -> ClassResult:
         """Settle sequential class ``k``: bounded design-vs-golden divergence
         of the ``k``-th common output (see :mod:`repro.core.unroll`).
 
@@ -370,6 +431,11 @@ class DesignWorkContext:
         """
         output = self.sequential_outputs[k]
         depth = self._config.depth
+        # The unroller's native search cannot be interrupted mid-call, so the
+        # deadline is enforced at the call boundary (same contract as the
+        # pysat backend one layer down).
+        if deadline_s is not None and _time.monotonic() >= deadline_s:
+            raise CheckDeadlineExceeded("check deadline exceeded")
         check = self.unroller.check_output(output, depth)
         result = PropertyCheckResult(
             prop=IntervalProperty(
@@ -418,7 +484,10 @@ class DesignWorkContext:
         )
 
     def _settle_combinational_once(
-        self, k: int, conflict_limit: Optional[int] = None
+        self,
+        k: int,
+        conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> ClassResult:
         """One combinational settle pass against this context's own engine.
 
@@ -462,7 +531,9 @@ class DesignWorkContext:
         # Only the *first* raw solve is budgeted: once it completes (or once
         # the class split into cubes), every follow-up — spurious-resolution
         # re-checks, cube-SAT re-settles — must run to completion.
-        result = self.engine.finish_check(prepared, conflict_limit=conflict_limit)
+        result = self.engine.finish_check(
+            prepared, conflict_limit=conflict_limit, deadline_s=deadline_s
+        )
         while True:
             if result.holds:
                 outcome = PropertyOutcome(
@@ -494,7 +565,13 @@ class DesignWorkContext:
                     prop = self.build_property(k)
                     for signal in extra_assumptions:
                         prop.assume_equal(signal, 0)
-                    result = self.engine.check(prop)
+                    # Between-call deadline check covers backends that cannot
+                    # interrupt a native search mid-call.
+                    if deadline_s is not None and _time.monotonic() >= deadline_s:
+                        raise CheckDeadlineExceeded("check deadline exceeded")
+                    result = self.engine.finish_check(
+                        self.engine.begin_check(prop), deadline_s=deadline_s
+                    )
                     continue
             outcome = PropertyOutcome(
                 kind=kind,

@@ -357,13 +357,17 @@ class IpcEngine:
         prepared: PreparedCheck,
         conflict_limit: Optional[int] = None,
         want_cex: bool = True,
+        deadline_s: Optional[float] = None,
     ) -> PropertyCheckResult:
         """SAT stage: settle a prepared check's remaining obligations.
 
         ``conflict_limit`` budgets the CDCL call: when the limit is reached
         :class:`repro.errors.ConflictLimitExceeded` propagates with the
         persistent context backtracked and fully reusable — the caller may
-        split the check into cubes and retry.  ``want_cex=False`` skips model
+        split the check into cubes and retry.  ``deadline_s`` budgets the
+        call in wall-clock terms (absolute ``time.monotonic()`` deadline):
+        capable backends raise :class:`repro.errors.CheckDeadlineExceeded`
+        with the context equally reusable.  ``want_cex=False`` skips model
         extraction and counterexample construction on SAT (a cube verdict
         needs only the satisfiability bit).
         """
@@ -385,7 +389,10 @@ class IpcEngine:
                 )
         else:
             holds, model_values = self._solve(
-                prepared, conflict_limit=conflict_limit, want_model=want_cex
+                prepared,
+                conflict_limit=conflict_limit,
+                want_model=want_cex,
+                deadline_s=deadline_s,
             )
             result.holds = holds
             if not holds and want_cex:
@@ -604,6 +611,7 @@ class IpcEngine:
         prepared: PreparedCheck,
         conflict_limit: Optional[int] = None,
         want_model: bool = True,
+        deadline_s: Optional[float] = None,
     ) -> Tuple[bool, Dict[int, int]]:
         """Settle a prepared check's miter against the shared solver context.
 
@@ -620,7 +628,9 @@ class IpcEngine:
         ]
         result = prepared.result
         outcome = context.solve(
-            assumption_literals + [goal_literal], conflict_limit=conflict_limit
+            assumption_literals + [goal_literal],
+            conflict_limit=conflict_limit,
+            deadline_s=deadline_s,
         )
         result.cnf_vars = context.num_vars
         result.cnf_clauses = context.num_clauses

@@ -53,12 +53,17 @@ class SatBackend(ABC):
         self,
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> SatResult:
         """Solve the accumulated formula under temporary assumptions.
 
         The solver state (clauses, learned clauses, heuristics) survives the
         call; an UNSAT answer under assumptions does not make the formula
-        permanently unsatisfiable.
+        permanently unsatisfiable.  ``deadline_s`` is an absolute
+        ``time.monotonic()`` deadline: a backend that supports wall-clock
+        interruption raises :class:`repro.errors.CheckDeadlineExceeded`
+        (solver left reusable) when the search runs past it; backends
+        without that capability treat it as best-effort advice.
         """
 
     @property
@@ -160,8 +165,13 @@ class PythonCdclBackend(SatBackend):
         self,
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> SatResult:
-        return self._solver.solve(assumptions=assumptions, conflict_limit=conflict_limit)
+        return self._solver.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            deadline_s=deadline_s,
+        )
 
     @property
     def num_vars(self) -> int:
@@ -246,7 +256,13 @@ class PySatBackend(SatBackend):
         self,
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> SatResult:
+        # deadline_s is best-effort advice only: a native pysat search
+        # cannot be interrupted on a wall-clock boundary from Python, so
+        # the deadline is enforced one layer up (the worker checks it
+        # between solver calls) rather than mid-search.
+        del deadline_s
         assumptions = list(assumptions or [])
         base = dict(self._stats_base)
         self._solve_calls += 1

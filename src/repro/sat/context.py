@@ -79,13 +79,16 @@ class SolverContext:
         self,
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> ContextSolveOutcome:
         """Flush newly encoded clauses and solve under ``assumptions``."""
         reused = self._clauses_fed
         new_clauses = self.flush()
         with _span("solve", backend=self._backend.name, new_clauses=new_clauses):
             result = self._backend.solve(
-                assumptions=assumptions, conflict_limit=conflict_limit
+                assumptions=assumptions,
+                conflict_limit=conflict_limit,
+                deadline_s=deadline_s,
             )
         return ContextSolveOutcome(
             result=result,

@@ -28,11 +28,18 @@ the paper's evaluation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.errors import ConflictLimitExceeded, SolverError
+from repro.errors import CheckDeadlineExceeded, ConflictLimitExceeded, SolverError
 from repro.obs.progress import active_heartbeat
+
+#: How often (in conflicts) the solve loop polls the wall clock against its
+#: deadline.  Coarse on purpose: a ``time.monotonic()`` call per conflict
+#: would be measurable, one per 256 conflicts is noise while still bounding
+#: deadline overshoot to a fraction of a second on realistic formulas.
+DEADLINE_POLL_CONFLICTS = 256
 
 
 @dataclass
@@ -633,6 +640,7 @@ class SatSolver:
         self,
         assumptions: Optional[Iterable[int]] = None,
         conflict_limit: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> SatResult:
         """Solve the current formula under optional assumptions.
 
@@ -642,6 +650,12 @@ class SatSolver:
         activities and the saved phases all persist, so subsequent calls —
         with different assumptions or none — resume from the accumulated
         state instead of starting over.
+
+        ``deadline_s`` is an absolute ``time.monotonic()`` deadline, polled
+        at the conflict-loop seam alongside ``conflict_limit`` (every
+        :data:`DEADLINE_POLL_CONFLICTS` conflicts); running past it raises
+        :class:`CheckDeadlineExceeded` with the solver backtracked to level
+        0 and fully reusable.
         """
         assumptions = list(assumptions or [])
         for literal in assumptions:
@@ -665,6 +679,20 @@ class SatSolver:
         # Progress heartbeats (repro.obs.progress): resolved once per call,
         # so with no sink installed the conflict loop pays nothing.
         heartbeat = active_heartbeat()
+        # Fault seam (repro.exec.faults, imported lazily to keep the sat
+        # layer free of exec imports at module load): a planned solver_stall
+        # sleeps this call past its deadline so the check_timeout_s path is
+        # testable without crafting a genuinely hard formula.  Without a
+        # deadline the stall is bounded so a stray plan cannot hang a run.
+        from repro.exec.faults import fire as _fire_fault
+
+        if _fire_fault("solver_stall"):
+            if deadline_s is not None:
+                time.sleep(max(0.0, min(deadline_s - time.monotonic(), 5.0)) + 0.01)
+            else:
+                time.sleep(0.25)
+        if deadline_s is not None and time.monotonic() >= deadline_s:
+            raise CheckDeadlineExceeded("check deadline exceeded")
         if self._unsat:
             return self._result(False)
         self._backtrack(0)
@@ -696,6 +724,13 @@ class SatSolver:
                     # Leave the persistent solver in a reusable state.
                     self._backtrack(0)
                     raise ConflictLimitExceeded("conflict limit exceeded")
+                if (
+                    deadline_s is not None
+                    and (self._conflicts - self._call_base[0]) % DEADLINE_POLL_CONFLICTS == 0
+                    and time.monotonic() >= deadline_s
+                ):
+                    self._backtrack(0)
+                    raise CheckDeadlineExceeded("check deadline exceeded")
                 if self._decision_level() <= len(assumptions):
                     # Conflict under assumptions only: UNSAT under assumptions.
                     self._backtrack(0)

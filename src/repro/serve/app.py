@@ -58,7 +58,7 @@ from repro.serve.protocol import (
     prepare_submission,
     submission_from_dict,
 )
-from repro.serve.queue import JobQueue
+from repro.serve.queue import DEFAULT_LEASE_S, JobQueue
 
 logger = logging.getLogger("repro.serve")
 
@@ -117,17 +117,28 @@ class AuditServer:
         default_quota: int = 0,
         quotas: Optional[Dict[str, int]] = None,
         max_body_bytes: int = MAX_BODY_BYTES,
+        owner: Optional[str] = None,
+        lease_s: float = DEFAULT_LEASE_S,
     ) -> None:
         """``jobs`` is the worker-thread count; ``0`` accepts jobs without
         running them (journal-only mode, for handover/testing).  The result
-        cache defaults to ``<queue_dir>/cache``."""
+        cache defaults to ``<queue_dir>/cache``.  ``owner``/``lease_s``
+        name this daemon on lease files and set the claim lease duration —
+        several daemons pointed at one ``queue_dir`` share the work, each
+        job running exactly once."""
         self._host = host
         self._requested_port = port
         self._jobs = max(0, jobs)
         self._use_cache = use_cache
         self._cache_dir = cache_dir or os.path.join(queue_dir, "cache")
         self._max_body_bytes = max_body_bytes
-        self.queue = JobQueue(queue_dir, default_quota=default_quota, quotas=quotas)
+        self.queue = JobQueue(
+            queue_dir,
+            default_quota=default_quota,
+            quotas=quotas,
+            owner=owner,
+            lease_s=lease_s,
+        )
         self.cache: Optional[ResultCache] = (
             ResultCache(self._cache_dir) if use_cache else None
         )
@@ -135,10 +146,18 @@ class AuditServer:
         self._runtimes_lock = threading.Lock()
         self._counters = {"submitted": 0, "deduplicated": 0, "completed": 0, "failed": 0}
         self._counters_lock = threading.Lock()
+        #: Jobs this daemon is executing right now (lease heartbeats).
+        self._active_jobs: set = set()
+        self._active_lock = threading.Lock()
+        #: Last queue counter values already folded into the metrics, so the
+        #: maintenance loop can export monotonic deltas.
+        self._queue_counter_base = {"corrupt_journals": 0, "leases_expired": 0}
         self.metrics = MetricsRegistry()
         self._register_metrics()
+        self._reconcile_queue_counters()
         self._stopping = threading.Event()
         self._workers: List[threading.Thread] = []
+        self._maintenance_thread: Optional[threading.Thread] = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._http_thread: Optional[threading.Thread] = None
 
@@ -181,6 +200,34 @@ class AuditServer:
             "repro_cubes_cached_total",
             "Cube verdicts replayed from the result cache across served audits",
         )
+        metrics.counter(
+            "repro_workers_lost_total",
+            "Pool worker processes lost mid-task across served audits",
+        )
+        metrics.counter(
+            "repro_tasks_retried_total",
+            "Tasks re-queued after a worker loss across served audits",
+        )
+        metrics.counter(
+            "repro_leases_expired_total",
+            "Job leases this daemon reaped or stole after expiry",
+        )
+        metrics.counter(
+            "repro_journal_corrupt_total",
+            "Corrupt or unreadable job journals skipped (counted, never silent)",
+        )
+
+    def _reconcile_queue_counters(self) -> None:
+        """Export the queue's fault counters as monotonic metric deltas."""
+        for attr, metric in (
+            ("corrupt_journals", "repro_journal_corrupt_total"),
+            ("leases_expired", "repro_leases_expired_total"),
+        ):
+            current = int(getattr(self.queue, attr))
+            delta = current - self._queue_counter_base[attr]
+            if delta > 0:
+                self.metrics.inc(metric, delta)
+                self._queue_counter_base[attr] = current
 
     # ------------------------------------------------------------------ #
     # life cycle
@@ -211,6 +258,10 @@ class AuditServer:
             )
             worker.start()
             self._workers.append(worker)
+        self._maintenance_thread = threading.Thread(
+            target=self._maintenance_loop, name="repro-serve-maintenance", daemon=True
+        )
+        self._maintenance_thread.start()
         logger.info(
             "serving on %s (%d worker(s), %d job(s) recovered from journal)",
             self.url,
@@ -226,6 +277,8 @@ class AuditServer:
             self._httpd.server_close()
         for worker in self._workers:
             worker.join(timeout=10.0)
+        if self._maintenance_thread is not None:
+            self._maintenance_thread.join(timeout=10.0)
         if self._http_thread is not None:
             self._http_thread.join(timeout=10.0)
 
@@ -252,8 +305,21 @@ class AuditServer:
             return runtime
 
     def _worker_loop(self) -> None:
+        # Transient claim failures (a full disk, a queue-dir hiccup on
+        # shared storage) retry with capped exponential backoff instead of
+        # spinning or killing the worker thread.
+        backoff = 0.0
         while not self._stopping.is_set():
-            job = self.queue.claim(timeout=0.25)
+            try:
+                job = self.queue.claim(timeout=0.25)
+            except (OSError, ReproError):
+                backoff = min(5.0, backoff * 2 if backoff else 0.1)
+                logger.warning(
+                    "claim failed; retrying in %.1fs", backoff, exc_info=True
+                )
+                self._stopping.wait(backoff)
+                continue
+            backoff = 0.0
             if job is None:
                 continue
             try:
@@ -261,14 +327,44 @@ class AuditServer:
             except Exception:  # pragma: no cover - defensive backstop
                 logger.exception("worker crashed on job %s", job.id)
 
+    def _maintenance_loop(self) -> None:
+        """Heartbeat + reaper: renew our leases, adopt orphaned jobs.
+
+        Runs every ``lease_s / 3`` seconds so a healthy daemon renews each
+        lease twice before it can expire, while a crashed peer's jobs are
+        re-queued at most one lease period after the crash.
+        """
+        interval = max(0.2, self.queue.lease_s / 3.0)
+        while not self._stopping.wait(timeout=interval):
+            with self._active_lock:
+                active = list(self._active_jobs)
+            for job_id in active:
+                try:
+                    if not self.queue.renew_lease(job_id):
+                        logger.warning(
+                            "lost the lease on job %s (reaped by a peer daemon); "
+                            "its result here will be discarded",
+                            job_id,
+                        )
+                except OSError:
+                    logger.warning("lease renewal failed for job %s", job_id, exc_info=True)
+            try:
+                self.queue.reap_expired()
+            except OSError:  # pragma: no cover - defensive (shared-fs hiccup)
+                logger.warning("lease reap pass failed", exc_info=True)
+            self._reconcile_queue_counters()
+
     def _run_audit(self, job) -> None:
         runtime = self._runtime_for(job.id)
+        with self._active_lock:
+            self._active_jobs.add(job.id)
         events: List[Dict[str, Any]] = []
         if job.started_s is not None and job.created_s:
             self.metrics.observe(
                 "repro_queue_wait_seconds", max(0.0, job.started_s - job.created_s)
             )
         run_started = _time.perf_counter()
+        elapsed_observed = False
         try:
             submission = submission_from_dict(job.submission)
             design = build_design(submission)
@@ -295,18 +391,28 @@ class AuditServer:
                     runtime.append(payload)
                     if isinstance(event, RunFinished):
                         report = event.report.to_dict()
-            self.queue.finish(job.id, report, events)
-            self._bump("completed")
-            self._observe_report(report)
-            logger.info("job %s done (%s)", job.id, job.design_name)
-        except Exception as error:
-            self.queue.fail(job.id, f"{type(error).__name__}: {error}", events)
-            self._bump("failed")
-            logger.exception("job %s failed", job.id)
-        finally:
+            # Record every metric before queue.finish publishes the terminal
+            # state: a client that saw the job finish (and immediately
+            # scraped /metrics) must already find it counted.
+            elapsed_observed = True
             self.metrics.observe(
                 "repro_audit_run_seconds", _time.perf_counter() - run_started
             )
+            self._bump("completed")
+            self._observe_report(report)
+            self.queue.finish(job.id, report, events)
+            logger.info("job %s done (%s)", job.id, job.design_name)
+        except Exception as error:
+            if not elapsed_observed:
+                self.metrics.observe(
+                    "repro_audit_run_seconds", _time.perf_counter() - run_started
+                )
+            self._bump("failed")
+            self.queue.fail(job.id, f"{type(error).__name__}: {error}", events)
+            logger.exception("job %s failed", job.id)
+        finally:
+            with self._active_lock:
+                self._active_jobs.discard(job.id)
             # The runtime stays registered: late-attaching streamers of a
             # finished job replay the journal, but one that raced the
             # completion still needs the finished flag to terminate.
@@ -330,6 +436,8 @@ class AuditServer:
         execution = report.get("execution") or {}
         self.metrics.inc("repro_cache_hits_total", execution.get("cache_hits", 0))
         self.metrics.inc("repro_cache_misses_total", execution.get("cache_misses", 0))
+        self.metrics.inc("repro_workers_lost_total", execution.get("workers_lost", 0))
+        self.metrics.inc("repro_tasks_retried_total", execution.get("tasks_retried", 0))
         preprocess = report.get("preprocess") or {}
         removed = preprocess.get("nodes_before", 0) - preprocess.get("nodes_after", 0)
         if removed > 0:

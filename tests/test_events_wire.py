@@ -30,6 +30,7 @@ from repro.core.events import (
     SolverProgress,
     StructurallyDischarged,
     WIRE_EVENT_TYPES,
+    WorkerLost,
     event_from_dict,
 )
 from repro.errors import ReproError
@@ -47,6 +48,7 @@ _SIMPLE_TYPES = (
     ClassSimFalsified,
     CexWaived,
     SolverProgress,
+    WorkerLost,
 )
 
 
@@ -71,8 +73,9 @@ def harvested_events():
     with cross-class fanin contributes SAT proofs, sim-falsifications, and
     waived spurious counterexamples.  ``ConeSimplified`` (which needs a
     sweep-friendly cone shape), ``SolverProgress`` (a heartbeat the
-    solver only emits on long solves) and ``ClassSplit`` (which needs a
-    check hard enough to blow the conflict budget) are synthesized.
+    solver only emits on long solves), ``ClassSplit`` (which needs a
+    check hard enough to blow the conflict budget) and ``WorkerLost``
+    (which needs a worker process to die repeatedly) are synthesized.
     """
     # Load the sibling conftest by path: a bare `import conftest` can
     # resolve to another directory's conftest in a full-repo pytest run.
@@ -127,6 +130,9 @@ def harvested_events():
             learned_clauses=1500,
             decision_level=12,
         )
+    )
+    events.append(
+        WorkerLost(design="pipe", index=1, kind="fanout", retries=2, quarantined=True)
     )
     return events
 

@@ -240,11 +240,20 @@ class TestReportSerialization:
         report.workers = 4
         report.cache_hits = 2
         report.cache_misses = 3
+        report.workers_lost = 1
+        report.tasks_retried = 2
         data = report.to_dict()
-        assert data["execution"] == {"workers": 4, "cache_hits": 2, "cache_misses": 3}
+        assert data["execution"] == {
+            "workers": 4,
+            "cache_hits": 2,
+            "cache_misses": 3,
+            "workers_lost": 1,
+            "tasks_retried": 2,
+        }
         restored = DetectionReport.from_dict(data)
         assert restored.workers == 4
         assert restored.cache_hits == 2 and restored.cache_misses == 3
+        assert restored.workers_lost == 1 and restored.tasks_retried == 2
         assert restored.to_dict() == data
 
     def test_summary_mentions_cache_activity(self, pipeline_module):

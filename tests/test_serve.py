@@ -11,7 +11,10 @@ multi-process result-cache sharing the daemon's warm cache relies on.
 import json
 import multiprocessing
 import os
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
@@ -55,6 +58,24 @@ module widget(input clk, input [3:0] din, output [3:0] dout);
     trig <= trig + 4'd1;
   end
   assign dout = (trig == 4'hf) ? ~b : b;
+endmodule
+"""
+
+# Secure, but ``(d + pad) - pad`` must be proven zero by the CDCL solver
+# (structural hashing cannot fold the adder identity), so an audit of this
+# design spends real time in SAT — long enough for a crash-recovery test
+# to kill a daemon mid-run, especially with solver_stall faults planned.
+SLOW_SECURE_SOURCE = """
+module widget(input clk, input [7:0] d, output [7:0] q);
+  reg [7:0] s1;
+  reg [7:0] s2;
+  reg [7:0] pad;
+  always @(posedge clk) begin
+    s1 <= d ^ 8'h5a;
+    pad <= (d + pad) - pad;
+    s2 <= s1 + pad;
+  end
+  assign q = s2;
 endmodule
 """
 
@@ -321,7 +342,9 @@ class TestJobQueue:
         assert reopened.recovered_jobs == 0
 
     def test_incomplete_jobs_requeue_on_reopen(self, tmp_path):
-        queue = JobQueue(str(tmp_path))
+        # lease_s=0: the claim's lease expires immediately, so the crashed
+        # daemon's running job is an adoptable orphan, not a live peer's.
+        queue = JobQueue(str(tmp_path), lease_s=0.0)
         queued_job, _ = _submit(queue, "a" * 64)
         running_job, _ = _submit(queue, "b" * 64, priority=1)
         claimed = queue.claim(timeout=0.1)
@@ -337,6 +360,19 @@ class TestJobQueue:
         # Both are claimable again, original priority order preserved.
         assert reopened.claim(timeout=0.1).id == running_job.id
         assert reopened.claim(timeout=0.1).id == queued_job.id
+
+    def test_running_job_with_live_lease_is_not_requeued_on_reopen(self, tmp_path):
+        # A second daemon opening the shared directory must not steal work
+        # a live peer is holding a fresh lease on.
+        queue = JobQueue(str(tmp_path))
+        job, _ = _submit(queue, "a" * 64)
+        assert queue.claim(timeout=0.1).id == job.id
+
+        peer = JobQueue(str(tmp_path))
+        assert peer.recovered_jobs == 0
+        seen = peer.get(job.id)
+        assert seen.state == "running" and seen.restarts == 0
+        assert peer.claim(timeout=0.1) is None
 
     def test_recovered_jobs_keep_dedup_identity(self, tmp_path):
         queue = JobQueue(str(tmp_path))
@@ -356,6 +392,10 @@ class TestJobQueue:
 
         reopened = JobQueue(str(tmp_path))
         assert [j.id for j in reopened.jobs()] == [job.id]
+        # Corruption is counted and surfaced (repro_journal_corrupt_total),
+        # never silently absorbed.
+        assert reopened.corrupt_journals == 2
+        assert reopened.stats()["corrupt_journals"] == 2
 
     def test_claim_blocks_until_submit(self, tmp_path):
         queue = JobQueue(str(tmp_path))
@@ -379,6 +419,65 @@ class TestJobQueue:
         assert stats["by_state"] == {
             "queued": 1, "running": 0, "done": 0, "failed": 1,
         }
+
+
+class TestLeaseArbitration:
+    """Lease files arbitrate job ownership among daemons sharing a queue dir."""
+
+    def test_claim_materializes_and_finish_releases_the_lease(self, tmp_path):
+        queue = JobQueue(str(tmp_path), owner="a", lease_s=30.0)
+        job, _ = _submit(queue, "a" * 64)
+        claimed = queue.claim(timeout=0.1)
+        assert claimed.owner == "a" and claimed.lease_expires_s is not None
+        lease_path = tmp_path / "leases" / f"{job.id}.lease"
+        lease = json.loads(lease_path.read_text())
+        assert lease["owner"] == "a" and lease["job"] == job.id
+        queue.finish(job.id, {"verdict": "secure"}, [])
+        assert not lease_path.exists()
+
+    def test_renew_lease_extends_the_expiry(self, tmp_path, monkeypatch):
+        import repro.serve.queue as queue_mod
+
+        clock = [1000.0]
+        monkeypatch.setattr(queue_mod, "now_s", lambda: clock[0])
+        queue = JobQueue(str(tmp_path), owner="a", lease_s=30.0)
+        job, _ = _submit(queue, "a" * 64)
+        queue.claim(timeout=0.1)
+        assert queue.get(job.id).lease_expires_s == 1030.0
+        clock[0] = 1010.0
+        assert queue.renew_lease(job.id)
+        assert queue.get(job.id).lease_expires_s == 1040.0
+        lease = json.loads((tmp_path / "leases" / f"{job.id}.lease").read_text())
+        assert lease["expires_s"] == 1040.0
+
+    def test_expired_lease_is_reaped_exactly_once(self, tmp_path):
+        victim = JobQueue(str(tmp_path), owner="victim", lease_s=0.05)
+        survivor = JobQueue(str(tmp_path), owner="survivor", lease_s=30.0)
+        job, _ = _submit(victim, "a" * 64)
+        assert victim.claim(timeout=0.1).id == job.id
+        time.sleep(0.1)  # let the victim's lease lapse un-renewed
+        assert survivor.reap_expired() == 1
+        assert survivor.reap_expired() == 0  # a reaped job is not re-reaped
+        # The victim's heartbeat fails: it must abandon the audit rather
+        # than publish a result that doubles the re-queued run.
+        assert not victim.renew_lease(job.id)
+        adopted = survivor.claim(timeout=0.1)
+        assert adopted.id == job.id and adopted.restarts == 1
+        survivor.finish(job.id, {"verdict": "secure"}, [])
+        assert victim.claim(timeout=0.1) is None  # never double-run
+        assert survivor.stats()["leases_expired"] >= 1
+
+    def test_wait_idle_timeout_ignores_wall_clock_jumps(self, tmp_path, monkeypatch):
+        import repro.serve.queue as queue_mod
+
+        queue = JobQueue(str(tmp_path))
+        _submit(queue, "a" * 64)  # a non-terminal job keeps the queue busy
+        # An NTP-style step of the wall clock (now_s) must not stretch the
+        # timeout: wait_idle is specified over the monotonic clock.
+        monkeypatch.setattr(queue_mod, "now_s", lambda: 1e12)
+        started = time.monotonic()
+        assert queue.wait_idle(timeout=0.2) is False
+        assert time.monotonic() - started < 2.0
 
 
 # ---------------------------------------------------------------------- #
@@ -632,3 +731,104 @@ class TestMultiProcessCacheSharing:
             # os.replace guarantees the old or the new entry, never neither.
             assert hits == len(keys), f"worker {worker} lost hits"
             assert corrupt == 0
+
+
+# ---------------------------------------------------------------------- #
+# Multi-daemon crash recovery (lease handover across real processes)
+# ---------------------------------------------------------------------- #
+
+
+_VICTIM_DAEMON_SCRIPT = """
+import sys, time
+from repro.serve import AuditServer
+
+server = AuditServer(
+    host="127.0.0.1", port=0, queue_dir=sys.argv[1], jobs=1,
+    use_cache=False, owner="victim", lease_s=1.0,
+)
+server.start()
+print(server.url, flush=True)
+while True:
+    time.sleep(1.0)
+"""
+
+
+class TestMultiDaemonCrashRecovery:
+    def test_killed_daemon_job_is_adopted_and_finished_exactly_once(self, tmp_path):
+        """SIGKILL a daemon mid-audit; a peer on the same queue dir finishes it.
+
+        The victim runs in a real subprocess with solver_stall faults planned
+        (every SAT call sleeps), so its audit is reliably still in flight
+        when the kill lands.  The surviving daemon's reaper must observe the
+        expired lease, re-queue the job with ``restarts`` bumped, run it
+        (fault-free in this process) and serve the report — exactly once.
+        """
+        queue_dir = str(tmp_path / "shared")
+        src_dir = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src_dir)
+        env["REPRO_FAULTS"] = ",".join(
+            f"solver_stall@check:{n}" for n in range(1, 101)
+        )
+        victim = subprocess.Popen(
+            [sys.executable, "-c", _VICTIM_DAEMON_SCRIPT, queue_dir],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            url = victim.stdout.readline().strip()
+            assert url.startswith("http"), f"victim daemon failed to start: {url!r}"
+            victim_client = ServeClient(url, timeout=10.0)
+            handle = victim_client.submit({
+                "verilog": SLOW_SECURE_SOURCE,
+                "top": "widget",
+                "config": {"simplify": False},
+            })
+            job_id = handle["job"]["id"]
+            # Kill the instant the audit is observably mid-run: the claim
+            # transitions the job to running *before* the (stall-slowed)
+            # solving starts, so the kill always lands mid-audit.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if victim_client.job(job_id)["state"] == "running":
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("victim daemon never started running the job")
+            victim.kill()  # SIGKILL: no shutdown hooks, the lease just lapses
+            victim.wait(timeout=10.0)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=10.0)
+            victim.stdout.close()
+
+        survivor = AuditServer(
+            port=0, queue_dir=queue_dir, jobs=1,
+            use_cache=False, owner="survivor", lease_s=1.0,
+        )
+        survivor.start()
+        try:
+            survivor_client = ServeClient(survivor.url, timeout=30.0)
+            job = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    job = survivor_client.job(job_id)
+                except ServeError:
+                    job = None  # the reaper has not synced the journal yet
+                if job is not None and job["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.2)
+            assert job is not None, "survivor never learned about the job"
+            assert job["state"] == "done", f"job ended as {job!r}"
+            assert job["restarts"] >= 1  # adopted via an expired-lease reap
+            report = survivor_client.report_dict(job_id)
+            assert report["verdict"] == "secure"
+            # Exactly once: only the survivor's completion is recorded.
+            stats = survivor_client.stats()
+            assert stats["counters"]["completed"] == 1
+            assert stats["queue"]["by_state"]["running"] == 0
+        finally:
+            survivor.stop()
